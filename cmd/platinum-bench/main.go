@@ -1,0 +1,64 @@
+// Command platinum-bench regenerates the paper's tables and figures on
+// the simulated machine.
+//
+// Usage:
+//
+//	platinum-bench [-quick] [-exp id[,id...]] [-list]
+//
+// With no -exp it runs every experiment. -quick scales problem sizes
+// down (the full sizes are the paper's). -list prints the experiment
+// index and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"platinum/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down problem sizes")
+	ids := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	if *ids == "" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := exp.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "platinum-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	opts := exp.Options{Quick: *quick}
+	for _, e := range todo {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall time: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,123 @@
+// Command platinum-report runs one of the paper's applications on the
+// simulated machine and prints the kernel's post-mortem memory
+// management report (§4.2): per-Cpage fault counts, fault-handler
+// contention, replication/migration/freeze activity, and ATC hit rates.
+// This is the instrumentation that let the paper's authors diagnose the
+// frozen-pivot-page anomaly.
+//
+// Usage:
+//
+//	platinum-report [-app gauss|mergesort|backprop|anecdote] [-procs n]
+//	                [-n size] [-top k]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"platinum/internal/apps"
+	"platinum/internal/kernel"
+	trc "platinum/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "gauss", "application: gauss, mergesort, backprop, anecdote")
+	procs := flag.Int("procs", 8, "processors to use")
+	size := flag.Int("n", 240, "problem size (matrix dim / words / epochs)")
+	top := flag.Int("top", 20, "show the k busiest pages")
+	trace := flag.Int("trace", 0, "record up to this many protocol events and print a summary")
+	flag.Parse()
+
+	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	if *trace > 0 {
+		pl.K.EnableTrace(*trace)
+	}
+
+	switch *app {
+	case "gauss":
+		cfg := apps.DefaultGaussConfig(*size, *procs)
+		r, err := apps.RunGaussPlatinum(pl, cfg)
+		if err != nil {
+			fail(err)
+		}
+		want := apps.GaussReferenceChecksum(cfg)
+		fmt.Printf("gauss %dx%d on %d procs: %v (checksum %#x, reference %#x)\n\n",
+			*size, *size, *procs, r.Elapsed, r.Checksum, want)
+	case "mergesort":
+		cfg := apps.DefaultMergeSortConfig(*procs)
+		if *size > 0 {
+			cfg.Words = *size
+		}
+		r, err := apps.RunMergeSort(pl, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mergesort %d words on %d procs: %v (sorted=%v)\n\n",
+			cfg.Words, *procs, r.Elapsed, r.Sorted)
+	case "backprop":
+		cfg := apps.DefaultBackpropConfig(*procs)
+		if *size > 0 && *size < 1000 {
+			cfg.Epochs = *size
+		}
+		r, err := apps.RunBackprop(pl, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("backprop %d epochs on %d procs: %v (SSE %.3f -> %.3f)\n\n",
+			cfg.Epochs, *procs, r.Elapsed, r.InitialSSE, r.FinalSSE)
+	case "anecdote":
+		cfg := apps.DefaultAnecdoteConfig(*procs)
+		r, err := apps.RunAnecdote(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("anecdote on %d procs: %v (size page frozen: %v)\n",
+			*procs, r.Elapsed, r.SizeFrozen)
+		fmt.Println("(anecdote boots its own kernel; report below is for the unused default kernel)")
+	default:
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+
+	report := pl.K.Report()
+	if *top > 0 && len(report.Pages) > *top {
+		report.Pages = report.Pages[:*top]
+	}
+	if _, err := report.WriteTo(os.Stdout); err != nil {
+		fail(err)
+	}
+	// ATC summary.
+	var hits, misses int64
+	for _, a := range report.ATC {
+		hits += a.Hits
+		misses += a.Misses
+	}
+	if hits+misses > 0 {
+		fmt.Printf("\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if *trace > 0 {
+		events, dropped := pl.K.Trace()
+		fmt.Println()
+		if _, err := trc.Summarize(events, dropped).WriteTo(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println("busiest pages (faults, moves, freeze cycles, ping-pong runs):")
+		pages := trc.ByPage(events)
+		if len(pages) > 8 {
+			pages = pages[:8]
+		}
+		for _, h := range pages {
+			fmt.Printf("  cpage %-5d faults=%-5d moves=%-5d cycles=%-3d pingpong=%d\n",
+				h.Cpage, h.Faults, h.Moves, h.FreezeCycles, h.PingPongRuns)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "platinum-report:", err)
+	os.Exit(1)
+}

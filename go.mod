@@ -1,0 +1,3 @@
+module platinum
+
+go 1.22

@@ -1,0 +1,241 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"platinum/internal/sim"
+)
+
+// Backpropagation network simulator (§5.3, Fig. 6). The paper's
+// application is a recurrent backpropagation simulator with 40 units
+// learning a classic encoder problem on 16 input/output pairs,
+// parallelized by simple for-loop parallelization on units, with no
+// synchronization beyond the atomicity of memory operations.
+//
+// We model it as a 16-8-16 encoder (16 + 8 + 16 = 40 units) learning
+// the identity map over 16 one-hot patterns. Unit activations live in
+// one shared page written at fine grain by every thread — exactly the
+// access pattern PLATINUM cannot replicate profitably, so the coherent
+// memory system freezes those pages and the computation runs on remote
+// references. The expected Fig. 6 behaviour: speedup stays linear but
+// each processor contributes only about half of an all-local processor.
+//
+// The absence of synchronization means threads read activations that
+// may be one update stale; like the paper's program, the training
+// tolerates this ("the non-determinism ... introduces negligible
+// variability"). Values are float32s stored in word memory.
+
+// BackpropConfig parameterizes a run.
+type BackpropConfig struct {
+	In, Hidden, Out int      // layer sizes (paper: 16, 8, 16 = 40 units)
+	Epochs          int      // training epochs over the 16 patterns
+	Threads         int      // worker threads
+	Rate            float32  // learning rate
+	MacCost         sim.Time // processor time per multiply-accumulate
+}
+
+// DefaultBackpropConfig returns the paper's network.
+func DefaultBackpropConfig(threads int) BackpropConfig {
+	return BackpropConfig{
+		In: 16, Hidden: 8, Out: 16,
+		Epochs:  30,
+		Threads: threads,
+		Rate:    1.5,
+		MacCost: 15 * sim.Microsecond,
+	}
+}
+
+// BackpropResult reports a finished run.
+type BackpropResult struct {
+	Elapsed              sim.Time
+	InitialSSE, FinalSSE float64 // sum-squared error before/after training
+}
+
+func f2w(f float32) uint32 { return math.Float32bits(f) }
+func w2f(w uint32) float32 { return math.Float32frombits(w) }
+
+// RunBackprop trains the encoder on pl and reports the loss trajectory.
+func RunBackprop(pl Platform, cfg BackpropConfig) (BackpropResult, error) {
+	if err := checkProcs(pl, cfg.Threads); err != nil {
+		return BackpropResult{}, err
+	}
+	nIn, nHid, nOut, p := cfg.In, cfg.Hidden, cfg.Out, cfg.Threads
+	if nHid < p && nOut < p {
+		return BackpropResult{}, fmt.Errorf("apps: %d threads for %d/%d units", p, nHid, nOut)
+	}
+
+	// Shared state. Activations and deltas are fine-grain write-shared;
+	// weights are partitioned by owner but read by everyone.
+	actH, err := pl.Alloc("bp-hidden-acts", nHid)
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	actO, err := pl.Alloc("bp-output-acts", nOut)
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	deltaO, err := pl.Alloc("bp-output-deltas", nOut)
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	w1, err := pl.Alloc("bp-w1", nIn*nHid) // input -> hidden
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	w2, err := pl.Alloc("bp-w2", nHid*nOut) // hidden -> output
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	ev, err := pl.Alloc("bp-events", 8)
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	// Spread the shared zones over distinct memory modules: they will be
+	// frozen in place by the fine-grain sharing, and a sensible program
+	// (or allocator) does not pile every hot page onto one node.
+	if placer, ok := pl.(Placer); ok {
+		for i, va := range []int64{actH, actO, deltaO, w1, w2, ev} {
+			mod := (i*3 + 1) % pl.Procs()
+			if err := placer.PlaceAt(va, mod); err != nil {
+				return BackpropResult{}, err
+			}
+		}
+	}
+
+	sigmoid := func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}
+
+	// one-hot input/target patterns.
+	patterns := nIn
+	var res BackpropResult
+
+	for ti := 0; ti < p; ti++ {
+		ti := ti
+		pl.Spawn(fmt.Sprintf("bp-%d", ti), ti, func(t Env) {
+			// Thread 0 initializes the weights with a deterministic
+			// small-value pattern, then releases the others.
+			if ti == 0 {
+				rng := uint64(12345)
+				init := func(base int64, n int) {
+					for i := 0; i < n; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						v := float32(int32(rng>>40))/float32(1<<24) - 0.5
+						t.Write(base+int64(i), f2w(v))
+					}
+				}
+				init(w1, nIn*nHid)
+				init(w2, nHid*nOut)
+				t.Write(ev, 1)
+			} else {
+				t.WaitAtLeast(ev, 1)
+			}
+
+			sse := func() float64 {
+				// Measured by thread 0 only, over all patterns, using
+				// the current weights (sequential forward pass).
+				var total float64
+				for pat := 0; pat < patterns; pat++ {
+					h := make([]float32, nHid)
+					for j := 0; j < nHid; j++ {
+						sum := w2f(t.Read(w1 + int64(pat*nHid+j)))
+						h[j] = sigmoid(sum)
+						t.Compute(cfg.MacCost * sim.Time(nIn/8+1))
+					}
+					for k := 0; k < nOut; k++ {
+						var sum float32
+						for j := 0; j < nHid; j++ {
+							sum += w2f(t.Read(w2+int64(j*nOut+k))) * h[j]
+						}
+						o := sigmoid(sum)
+						t.Compute(cfg.MacCost * sim.Time(nHid))
+						target := float32(0)
+						if k == pat {
+							target = 1
+						}
+						d := float64(o - target)
+						total += d * d
+					}
+				}
+				return total
+			}
+			if ti == 0 {
+				res.InitialSSE = sse()
+				t.Write(ev+1, 1)
+			} else {
+				t.WaitAtLeast(ev+1, 1)
+			}
+
+			// Training: units partitioned round-robin over threads; no
+			// synchronization within an epoch (paper style). A light
+			// epoch barrier keeps threads in the same epoch so learning
+			// is well-defined.
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for pat := 0; pat < patterns; pat++ {
+					// Forward, hidden layer: one-hot input means the
+					// activation is sigmoid(w1[pat][j]).
+					for j := ti; j < nHid; j += p {
+						sum := w2f(t.Read(w1 + int64(pat*nHid+j)))
+						t.Compute(cfg.MacCost * sim.Time(nIn/8+1))
+						t.Write(actH+int64(j), f2w(sigmoid(sum)))
+					}
+					// Forward, output layer (reads possibly-stale
+					// hidden activations — no sync, as in the paper).
+					for k := ti; k < nOut; k += p {
+						var sum float32
+						for j := 0; j < nHid; j++ {
+							sum += w2f(t.Read(w2+int64(j*nOut+k))) * w2f(t.Read(actH+int64(j)))
+						}
+						o := sigmoid(sum)
+						t.Compute(cfg.MacCost * sim.Time(nHid))
+						t.Write(actO+int64(k), f2w(o))
+						target := float32(0)
+						if k == pat {
+							target = 1
+						}
+						t.Write(deltaO+int64(k), f2w((target-o)*o*(1-o)))
+					}
+					// Backward: hidden->output weights owned by their
+					// output unit's thread; w1 update via backprop of
+					// the owned hidden units.
+					for k := ti; k < nOut; k += p {
+						d := w2f(t.Read(deltaO + int64(k)))
+						for j := 0; j < nHid; j++ {
+							va := w2 + int64(j*nOut+k)
+							w := w2f(t.Read(va))
+							h := w2f(t.Read(actH + int64(j)))
+							t.Write(va, f2w(w+cfg.Rate*d*h))
+						}
+						t.Compute(cfg.MacCost * sim.Time(nHid))
+					}
+					for j := ti; j < nHid; j += p {
+						var back float32
+						for k := 0; k < nOut; k++ {
+							back += w2f(t.Read(w2+int64(j*nOut+k))) * w2f(t.Read(deltaO+int64(k)))
+						}
+						h := w2f(t.Read(actH + int64(j)))
+						va := w1 + int64(pat*nHid+j)
+						w := w2f(t.Read(va))
+						t.Write(va, f2w(w+cfg.Rate*back*h*(1-h)))
+						t.Compute(cfg.MacCost * sim.Time(nOut))
+					}
+				}
+				// Epoch barrier via a single event count.
+				t.AtomicAdd(ev+2, 1)
+				t.WaitAtLeast(ev+2, uint32((epoch+1)*p))
+			}
+
+			if ti == 0 {
+				// Wait for everyone's last epoch, then measure.
+				t.WaitAtLeast(ev+2, uint32(cfg.Epochs*p))
+				res.FinalSSE = sse()
+			}
+		})
+	}
+	if err := pl.Run(); err != nil {
+		return BackpropResult{}, err
+	}
+	res.Elapsed = pl.Elapsed()
+	return res, nil
+}

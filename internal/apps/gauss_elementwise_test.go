@@ -1,0 +1,22 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestGaussElementwiseMatchesReference(t *testing.T) {
+	cfg := DefaultGaussConfig(8, 2)
+	ref := gaussReference(cfg)
+	r, err := RunGaussPlatinum(platinumPl(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.N
+	for j := 0; j < n; j++ {
+		for c := 0; c < n; c++ {
+			if r.Matrix[j*n+c] != ref[j*n+c] {
+				t.Errorf("row %d col %d: got %d want %d", j, c, r.Matrix[j*n+c], ref[j*n+c])
+			}
+		}
+	}
+}

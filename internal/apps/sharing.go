@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"platinum/internal/core"
+	"platinum/internal/mach"
+	"platinum/internal/sim"
+)
+
+// Round-robin write-sharing microworkload: the empirical counterpart of
+// the §4.1 analytic model (Table 1). p processors take strict turns
+// operating on a data structure X that fills one page of s words; each
+// operation makes r = ρ·s references (one write that establishes
+// ownership, the rest reads). Comparing total time under the
+// always-migrate policy against the never-migrate (remote access)
+// policy locates the empirical break-even page size S_min for each
+// (ρ, g(p)) — which the experiments check against inequality (2).
+//
+// The workload drives the coherent memory system directly with a
+// sequential script, because the model assumes pure round-robin data
+// references with no synchronization traffic.
+
+// SharingConfig parameterizes one measurement.
+type SharingConfig struct {
+	PageWords int         // s: page size in words
+	Rho       float64     // reference density (r = max(1, round(ρ·s)))
+	Procs     int         // p: processors taking turns
+	Ops       int         // total operations (turns)
+	Policy    core.Policy // AlwaysCache (migrate) or NeverCache (remote)
+}
+
+// RunSharing measures the total virtual time of the workload.
+func RunSharing(cfg SharingConfig) (sim.Time, error) {
+	if cfg.PageWords < 1 || cfg.Procs < 2 || cfg.Ops < 1 {
+		return 0, fmt.Errorf("apps: bad sharing config %+v", cfg)
+	}
+	refs := int(math.Round(cfg.Rho * float64(cfg.PageWords)))
+	if refs < 1 {
+		refs = 1
+	}
+	if refs > cfg.PageWords {
+		refs = cfg.PageWords // density > 1 revisits words; cost below accounts extra
+	}
+	extra := int(math.Round(cfg.Rho*float64(cfg.PageWords))) - refs
+
+	mc := mach.DefaultConfig()
+	mc.PageWords = cfg.PageWords
+	cc := core.DefaultConfig()
+	cc.Policy = cfg.Policy
+	cc.DefrostPeriod = 0
+
+	e := sim.NewEngine()
+	m, err := mach.New(e, mc)
+	if err != nil {
+		return 0, err
+	}
+	sys, err := core.NewSystem(m, cc)
+	if err != nil {
+		return 0, err
+	}
+	cm := sys.NewCmap()
+	for p := 0; p < m.Nodes(); p++ {
+		cm.Activate(nil, p)
+	}
+	cp := sys.NewCpage()
+	if _, err := cm.Enter(0, cp, core.Read|core.Write); err != nil {
+		return 0, err
+	}
+
+	var elapsed sim.Time
+	var runErr error
+	e.Spawn("sharing", func(th *sim.Thread) {
+		for op := 0; op < cfg.Ops; op++ {
+			proc := op % cfg.Procs
+			// One write establishes ownership (and triggers migration
+			// under the caching policy) ...
+			c, err := sys.Touch(th, proc, cm, 0, true)
+			if err != nil {
+				runErr = err
+				return
+			}
+			m.Access(th, proc, c.Module, 1, true)
+			// ... the remaining references of the operation.
+			if refs > 1 {
+				m.Access(th, proc, c.Module, refs-1, false)
+			}
+			if extra > 0 {
+				m.Access(th, proc, c.Module, extra, false)
+			}
+		}
+		elapsed = th.Now()
+	})
+	if err := e.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, runErr
+}
+
+// EmpiricalSMin locates, by bisection over page size, the break-even
+// point where migrating starts to beat remote access for density rho
+// and p round-robin processors. It returns +Inf (as math.Inf) when
+// migration loses even at maxWords.
+func EmpiricalSMin(rho float64, procs, minWords, maxWords, ops int) (float64, error) {
+	wins := func(s int) (bool, error) {
+		mig, err := RunSharing(SharingConfig{
+			PageWords: s, Rho: rho, Procs: procs, Ops: ops, Policy: core.AlwaysCache{},
+		})
+		if err != nil {
+			return false, err
+		}
+		rem, err := RunSharing(SharingConfig{
+			PageWords: s, Rho: rho, Procs: procs, Ops: ops, Policy: core.NeverCache{},
+		})
+		if err != nil {
+			return false, err
+		}
+		return mig < rem, nil
+	}
+	hiWins, err := wins(maxWords)
+	if err != nil {
+		return 0, err
+	}
+	if !hiWins {
+		return math.Inf(1), nil
+	}
+	if loWins, err := wins(minWords); err != nil {
+		return 0, err
+	} else if loWins {
+		return float64(minWords), nil
+	}
+	lo, hi := minWords, maxWords // lo loses, hi wins
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		w, err := wins(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return float64(hi), nil
+}

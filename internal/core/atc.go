@@ -1,0 +1,94 @@
+package core
+
+// atc models a processor's address translation cache (the MC68851's
+// 64-entry ATC on the Butterfly Plus). It caches recently used
+// virtual-to-physical translations; shootdowns invalidate or restrict
+// entries through the same paths that update the Pmaps.
+//
+// The replacement policy is FIFO over a fixed-size ring, which is simple,
+// deterministic, and close enough to the hardware's pseudo-random
+// replacement for timing purposes.
+type atc struct {
+	cap     int
+	entries map[atcKey]pmapEntry
+	ring    []atcKey // FIFO of resident keys
+	head    int
+
+	// Statistics.
+	Hits   int64
+	Misses int64
+}
+
+type atcKey struct {
+	cmap int
+	vpn  int64
+}
+
+func newATC(capacity int) *atc {
+	return &atc{
+		cap:     capacity,
+		entries: make(map[atcKey]pmapEntry, capacity),
+		ring:    make([]atcKey, 0, capacity),
+	}
+}
+
+// lookup returns the cached translation for (cmap, vpn), if resident.
+func (a *atc) lookup(cmap int, vpn int64) (pmapEntry, bool) {
+	pe, ok := a.entries[atcKey{cmap, vpn}]
+	if ok {
+		a.Hits++
+	} else {
+		a.Misses++
+	}
+	return pe, ok
+}
+
+// install caches a translation, evicting the oldest if full.
+func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
+	k := atcKey{cmap, vpn}
+	if _, resident := a.entries[k]; resident {
+		a.entries[k] = pmapEntry{copy: c, rights: rights}
+		return
+	}
+	if len(a.ring) < a.cap {
+		a.ring = append(a.ring, k)
+	} else {
+		// Evict the slot at head; ring is full so head wraps FIFO-style.
+		old := a.ring[a.head]
+		delete(a.entries, old)
+		a.ring[a.head] = k
+		a.head = (a.head + 1) % a.cap
+	}
+	a.entries[k] = pmapEntry{copy: c, rights: rights}
+}
+
+// invalidate drops the cached translation, if resident. The ring slot is
+// left in place and simply misses in the map until reused.
+func (a *atc) invalidate(cmap int, vpn int64) {
+	delete(a.entries, atcKey{cmap, vpn})
+}
+
+// restrict downgrades the cached translation to read-only, if resident.
+func (a *atc) restrict(cmap int, vpn int64) {
+	k := atcKey{cmap, vpn}
+	if pe, ok := a.entries[k]; ok {
+		pe.rights = Read
+		a.entries[k] = pe
+	}
+}
+
+// ATCStats is a snapshot of one processor's ATC counters.
+type ATCStats struct {
+	Proc   int
+	Hits   int64
+	Misses int64
+}
+
+// ATCStats returns hit/miss counters for every processor's ATC.
+func (s *System) ATCStats() []ATCStats {
+	out := make([]ATCStats, len(s.atcs))
+	for i, a := range s.atcs {
+		out[i] = ATCStats{Proc: i, Hits: a.Hits, Misses: a.Misses}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"platinum/internal/sim"
+)
+
+// pmapEntry is one virtual-to-physical translation in a processor's
+// private Pmap (a cache of the valid translations, §3.1).
+type pmapEntry struct {
+	copy   Copy
+	rights Rights
+}
+
+// cmapMsg describes a mapping change that target processors must apply
+// to their private Pmaps (§3.1). restrict downgrades the translation to
+// read-only; otherwise the translation is invalidated.
+type cmapMsg struct {
+	vpn      int64
+	restrict bool
+	targets  uint64 // processors that still have to apply the change
+}
+
+// CmapEntry maps one virtual page of an address space to a coherent
+// page. It is the analogue of a page table entry (§2.3): coherent page
+// pointer, access rights, and the reference mask of processors holding a
+// virtual-to-physical translation.
+type CmapEntry struct {
+	cmap    *Cmap
+	vpn     int64
+	cp      *Cpage
+	rights  Rights
+	refMask uint64
+}
+
+// Cpage returns the coherent page the entry maps.
+func (e *CmapEntry) Cpage() *Cpage { return e.cp }
+
+// Rights returns the access rights granted by the virtual memory system.
+func (e *CmapEntry) Rights() Rights { return e.rights }
+
+// Cmap caches the composition of an address space's virtual-to-coherent
+// mappings, and holds the per-processor private Pmaps plus the queue of
+// Cmap messages used by the shootdown protocol (§2.3, §3.1).
+type Cmap struct {
+	id      int
+	sys     *System
+	entries map[int64]*CmapEntry
+	pmaps   []map[int64]pmapEntry
+	active  uint64 // processors with this address space active
+	actives []int  // activation refcount per processor
+	msgs    []cmapMsg
+}
+
+// NewCmap creates the coherent-map state for a new address space.
+func (s *System) NewCmap() *Cmap {
+	n := s.machine.Nodes()
+	cm := &Cmap{
+		id:      len(s.cmaps),
+		sys:     s,
+		entries: make(map[int64]*CmapEntry),
+		pmaps:   make([]map[int64]pmapEntry, n),
+		actives: make([]int, n),
+	}
+	for i := range cm.pmaps {
+		cm.pmaps[i] = make(map[int64]pmapEntry)
+	}
+	s.cmaps = append(s.cmaps, cm)
+	return cm
+}
+
+// Enter binds virtual page vpn to coherent page cp with the given
+// rights. It is the virtual memory layer's interface for populating the
+// Cmap.
+func (cm *Cmap) Enter(vpn int64, cp *Cpage, rights Rights) (*CmapEntry, error) {
+	if _, dup := cm.entries[vpn]; dup {
+		return nil, fmt.Errorf("core: vpn %d already mapped in cmap %d", vpn, cm.id)
+	}
+	if rights&Read == 0 {
+		return nil, fmt.Errorf("core: mapping vpn %d without read rights", vpn)
+	}
+	e := &CmapEntry{cmap: cm, vpn: vpn, cp: cp, rights: rights}
+	cm.entries[vpn] = e
+	cp.mappers = append(cp.mappers, e)
+	return e, nil
+}
+
+// Lookup returns the entry mapping vpn, or nil.
+func (cm *Cmap) Lookup(vpn int64) *CmapEntry { return cm.entries[vpn] }
+
+// DiscardUnused removes the entry for vpn, which must never have been
+// used (no processor holds a translation). It exists so the virtual
+// memory layer can roll back a partially constructed binding without a
+// shootdown; use Remove for live mappings.
+func (cm *Cmap) DiscardUnused(vpn int64) error {
+	e := cm.entries[vpn]
+	if e == nil {
+		return fmt.Errorf("core: vpn %d not mapped in cmap %d", vpn, cm.id)
+	}
+	if e.refMask != 0 {
+		return fmt.Errorf("core: vpn %d has live translations, cannot discard", vpn)
+	}
+	for i, m := range e.cp.mappers {
+		if m == e {
+			e.cp.mappers = append(e.cp.mappers[:i], e.cp.mappers[i+1:]...)
+			break
+		}
+	}
+	delete(cm.entries, vpn)
+	return nil
+}
+
+// Remove unbinds vpn, invalidating every processor's translation for it.
+// The caller is a kernel thread; shootdown costs are charged to it.
+func (cm *Cmap) Remove(t *sim.Thread, proc int, vpn int64) error {
+	e := cm.entries[vpn]
+	if e == nil {
+		return fmt.Errorf("core: vpn %d not mapped in cmap %d", vpn, cm.id)
+	}
+	now := t.Now()
+	d, _ := cm.sys.shootdownEntry(e, proc, now, false, func(p int, pe pmapEntry) bool {
+		return true
+	})
+	// Drop our own translation too.
+	cm.dropTranslation(proc, vpn)
+	// Unlink from the Cpage's mapper list.
+	for i, m := range e.cp.mappers {
+		if m == e {
+			e.cp.mappers = append(e.cp.mappers[:i], e.cp.mappers[i+1:]...)
+			break
+		}
+	}
+	delete(cm.entries, vpn)
+	t.Advance(d)
+	return nil
+}
+
+// Activate marks the address space active on processor proc and applies
+// any queued Cmap messages targeting proc (§3.1: a processor applies
+// pending changes before running any thread in the address space).
+// Activation nests; matching Deactivate calls are required.
+func (cm *Cmap) Activate(t *sim.Thread, proc int) {
+	cm.actives[proc]++
+	if cm.actives[proc] > 1 {
+		return
+	}
+	cm.active |= 1 << uint(proc)
+	var cost sim.Time
+	bit := uint64(1) << uint(proc)
+	out := cm.msgs[:0]
+	for _, m := range cm.msgs {
+		if m.targets&bit != 0 {
+			cm.applyMsg(proc, m)
+			m.targets &^= bit
+			cost += cm.sys.cfg.MsgApply
+		}
+		if m.targets != 0 {
+			out = append(out, m)
+		}
+	}
+	cm.msgs = out
+	if cost > 0 && t != nil {
+		t.Advance(cost)
+	}
+}
+
+// Deactivate undoes one Activate on proc.
+func (cm *Cmap) Deactivate(proc int) {
+	if cm.actives[proc] == 0 {
+		panic(fmt.Sprintf("core: Deactivate of inactive cmap %d on proc %d", cm.id, proc))
+	}
+	cm.actives[proc]--
+	if cm.actives[proc] == 0 {
+		cm.active &^= 1 << uint(proc)
+	}
+}
+
+// Active reports whether the space is active on proc.
+func (cm *Cmap) Active(proc int) bool { return cm.active&(1<<uint(proc)) != 0 }
+
+// applyMsg applies one Cmap message to proc's Pmap and ATC.
+func (cm *Cmap) applyMsg(proc int, m cmapMsg) {
+	if m.restrict {
+		cm.restrictTranslation(proc, m.vpn)
+	} else {
+		cm.dropTranslation(proc, m.vpn)
+	}
+}
+
+// installTranslation writes a translation into proc's Pmap and ATC and
+// sets the reference-mask bit.
+func (cm *Cmap) installTranslation(proc int, e *CmapEntry, c Copy, rights Rights) {
+	cm.pmaps[proc][e.vpn] = pmapEntry{copy: c, rights: rights}
+	e.refMask |= 1 << uint(proc)
+	cm.sys.atcs[proc].install(cm.id, e.vpn, c, rights)
+}
+
+// dropTranslation removes proc's translation for vpn, if any.
+func (cm *Cmap) dropTranslation(proc int, vpn int64) {
+	if _, ok := cm.pmaps[proc][vpn]; !ok {
+		return
+	}
+	delete(cm.pmaps[proc], vpn)
+	if e := cm.entries[vpn]; e != nil {
+		e.refMask &^= 1 << uint(proc)
+	}
+	cm.sys.atcs[proc].invalidate(cm.id, vpn)
+}
+
+// restrictTranslation downgrades proc's translation for vpn to read-only.
+func (cm *Cmap) restrictTranslation(proc int, vpn int64) {
+	pe, ok := cm.pmaps[proc][vpn]
+	if !ok {
+		return
+	}
+	pe.rights = Read
+	cm.pmaps[proc][vpn] = pe
+	cm.sys.atcs[proc].restrict(cm.id, vpn)
+}
+
+// translation returns proc's current Pmap translation for vpn.
+func (cm *Cmap) translation(proc int, vpn int64) (pmapEntry, bool) {
+	pe, ok := cm.pmaps[proc][vpn]
+	return pe, ok
+}
+
+// postMsg queues a Cmap message for the given (inactive) targets.
+func (cm *Cmap) postMsg(vpn int64, restrict bool, targets uint64) {
+	if targets == 0 {
+		return
+	}
+	cm.msgs = append(cm.msgs, cmapMsg{vpn: vpn, restrict: restrict, targets: targets})
+}
+
+// PendingMessages reports the queued Cmap message count (instrumentation).
+func (cm *Cmap) PendingMessages() int { return len(cm.msgs) }

@@ -1,0 +1,249 @@
+// Package core implements PLATINUM's coherent memory system — the
+// paper's primary contribution (Cox & Fowler, SOSP 1989).
+//
+// Coherent memory presents every page as uniformly accessible from all
+// processors while transparently replicating and migrating the physical
+// pages that back it. The protocol is a directory-based selective-
+// invalidation cache coherency protocol (after Censier & Feautrier)
+// extended with the NUMA-specific option of mapping a remote physical
+// copy instead of caching: when fine-grain write sharing makes coherency
+// traffic more expensive than remote access, the page is "frozen" and
+// all processors use remote references until the defrost daemon thaws it.
+//
+// The package implements, faithfully to the paper's structure:
+//
+//   - the Cpage system: coherent page table, per-page directory of
+//     physical copies, the four-state protocol (empty, present1,
+//     present+, modified; Fig. 4), the page fault handler (§3.3), the
+//     replication policy (§4.2) and the defrost daemon;
+//   - the Cmap system: per-address-space virtual-to-coherent mappings,
+//     a private Pmap per processor per address space, Cmap message
+//     queues, and the NUMA shootdown mechanism (§3.1);
+//   - per-processor address translation caches (ATCs) modeled on the
+//     MC68851, kept coherent by the same shootdown mechanism;
+//   - the paper's kernel instrumentation: per-Cpage fault counts,
+//     fault-handler contention, and freeze state (§4.2).
+package core
+
+import (
+	"fmt"
+
+	"platinum/internal/mach"
+	"platinum/internal/phys"
+	"platinum/internal/sim"
+)
+
+// Rights are access rights to a page.
+type Rights uint8
+
+// Access rights bits.
+const (
+	Read  Rights = 1 << iota // page may be read
+	Write                    // page may be written
+)
+
+// Allows reports whether r grants everything in want.
+func (r Rights) Allows(want Rights) bool { return r&want == want }
+
+func (r Rights) String() string {
+	switch r {
+	case 0:
+		return "none"
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case Read | Write:
+		return "rw"
+	}
+	return fmt.Sprintf("Rights(%d)", uint8(r))
+}
+
+// ErrProtection is returned when an access exceeds the rights granted by
+// the virtual memory system (a true access violation, not a coherency
+// fault).
+type ErrProtection struct {
+	Proc  int
+	VPN   int64
+	Want  Rights
+	Grant Rights
+}
+
+func (e *ErrProtection) Error() string {
+	return fmt.Sprintf("core: protection violation: proc %d vpn %d wants %v, granted %v",
+		e.Proc, e.VPN, e.Want, e.Grant)
+}
+
+// ErrNoMemory is returned when a page must be materialized but no module
+// has a free frame.
+type ErrNoMemory struct{ VPN int64 }
+
+func (e *ErrNoMemory) Error() string {
+	return fmt.Sprintf("core: out of physical memory materializing vpn %d", e.VPN)
+}
+
+// ErrUnmapped is returned when an access hits a virtual page with no
+// Cmap entry (the virtual memory layer did not bind it).
+type ErrUnmapped struct {
+	Proc int
+	VPN  int64
+}
+
+func (e *ErrUnmapped) Error() string {
+	return fmt.Sprintf("core: proc %d touched unmapped vpn %d", e.Proc, e.VPN)
+}
+
+// SourceSelection chooses which existing physical copy a replication
+// reads from.
+type SourceSelection uint8
+
+const (
+	// SourceFirstCopy always copies from the directory's first copy
+	// (the behaviour that serializes pivot-row replication in §5.1).
+	SourceFirstCopy SourceSelection = iota
+	// SourceLeastLoaded copies from the copy whose module is free
+	// soonest, letting replication fan out (§7's "more concurrency").
+	SourceLeastLoaded
+)
+
+// Config holds the coherent memory system's parameters. All fixed
+// overheads default to values that reproduce the paper's §4 composite
+// measurements (see DefaultConfig).
+type Config struct {
+	// FramesPerModule sizes each node's frame pool (4 MB / 4 KB = 1024
+	// on the Butterfly Plus).
+	FramesPerModule int
+
+	// Policy decides replicate/migrate vs. freeze on each fault.
+	// Defaults to the paper's timestamp policy with T1 = 10 ms.
+	Policy Policy
+
+	// DefrostPeriod (t2) is how often the defrost daemon thaws frozen
+	// pages. Paper: 1 s. Zero disables the daemon.
+	DefrostPeriod sim.Time
+
+	// AdaptiveDefrost selects the paper's proposed alternative daemon
+	// (§4.2): instead of thawing everything every DefrostPeriod, each
+	// page thaws once it has been frozen for DefrostPeriod, with the
+	// daemon sleeping until the next page is due.
+	AdaptiveDefrost bool
+
+	// SourceSelection picks the block-transfer source for replication.
+	SourceSelection SourceSelection
+
+	// ATCEntries is the per-processor address translation cache size
+	// (the MC68851 held 64 entries).
+	ATCEntries int
+
+	// Fixed overheads of the fault handler (see §4 for the composite
+	// timings these reproduce).
+	FaultBase     sim.Time // enter handler, Cmap lookup, lock Cpage
+	MapInstall    sim.Time // install the Pmap/ATC mapping at the end
+	FrameAlloc    sim.Time // IPT search + allocate + directory update
+	FrameFree     sim.Time // one remote read + one write (~10 µs, §4)
+	ShootdownPost sim.Time // post a Cmap message
+	ShootdownSync sim.Time // synchronize with the first interrupted target
+	// Incremental per-extra-target cost is mach.Config.InterruptDispatch.
+
+	// KernelRemotePenalty is added when the handling processor's node
+	// does not hold the Cpage's kernel metadata (the paper's 1.34 ms vs
+	// 1.38 ms spread between local and remote kernel data structures).
+	KernelRemotePenalty sim.Time
+
+	// MsgApply is the cost for a processor to apply one queued Cmap
+	// message when it activates an address space.
+	MsgApply sim.Time
+}
+
+// DefaultConfig returns parameters that reproduce the paper's §4
+// measurements on the default machine:
+//
+//	read miss replicating a non-modified page: 0.23–0.27 ms + 1.13 ms copy
+//	read miss replicating a modified page (1 target): + shootdown
+//	write miss on a present+ page (1 target, 1 free): 0.25–0.45 ms
+//	incremental cost per extra shootdown target: 17 µs (7 µs interrupt
+//	  dispatch + 10 µs frame free)
+func DefaultConfig() Config {
+	return Config{
+		FramesPerModule:     1024,
+		Policy:              nil, // filled by NewSystem: NewPlatinumPolicy(DefaultT1, false)
+		DefrostPeriod:       1 * sim.Second,
+		SourceSelection:     SourceFirstCopy,
+		ATCEntries:          64,
+		FaultBase:           80 * sim.Microsecond,
+		MapInstall:          60 * sim.Microsecond,
+		FrameAlloc:          90 * sim.Microsecond,
+		FrameFree:           10 * sim.Microsecond,
+		ShootdownPost:       50 * sim.Microsecond,
+		ShootdownSync:       100 * sim.Microsecond,
+		KernelRemotePenalty: 40 * sim.Microsecond,
+		MsgApply:            2 * sim.Microsecond,
+	}
+}
+
+// System is the coherent memory system of one simulated machine.
+type System struct {
+	machine *mach.Machine
+	mem     *phys.Memory
+	cfg     Config
+
+	cpages    []*Cpage
+	cmaps     []*Cmap
+	frozen    []*Cpage // frozen list scanned by the defrost daemon
+	tr        *tracer  // optional event trace (EnableTrace)
+	atcs      []*atc
+	penalty   []sim.Time // deferred interrupt-handling cost per processor
+	homeNext  int        // round-robin default home module for new cpages
+	shootSeqs int64      // shootdowns issued (stats)
+}
+
+// NewSystem builds a coherent memory system on machine m.
+func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
+	if cfg.FramesPerModule <= 0 {
+		return nil, fmt.Errorf("core: FramesPerModule = %d, must be positive", cfg.FramesPerModule)
+	}
+	if cfg.ATCEntries <= 0 {
+		return nil, fmt.Errorf("core: ATCEntries = %d, must be positive", cfg.ATCEntries)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewPlatinumPolicy(DefaultT1, false)
+	}
+	mem, err := phys.NewMemory(m.Nodes(), cfg.FramesPerModule, m.Config().PageWords)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		machine: m,
+		mem:     mem,
+		cfg:     cfg,
+		atcs:    make([]*atc, m.Nodes()),
+		penalty: make([]sim.Time, m.Nodes()),
+	}
+	for i := range s.atcs {
+		s.atcs[i] = newATC(cfg.ATCEntries)
+	}
+	return s, nil
+}
+
+// Machine returns the machine the system runs on.
+func (s *System) Machine() *mach.Machine { return s.machine }
+
+// Memory returns the physical memory substrate.
+func (s *System) Memory() *phys.Memory { return s.mem }
+
+// Config returns the system configuration (with defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// Policy returns the active replication policy.
+func (s *System) Policy() Policy { return s.cfg.Policy }
+
+// chargePenalty folds any deferred interrupt-handling cost for proc into
+// the current operation, returning the extra delay.
+func (s *System) chargePenalty(proc int) sim.Time {
+	d := s.penalty[proc]
+	s.penalty[proc] = 0
+	return d
+}
+
+// Shootdowns reports the number of shootdown operations issued.
+func (s *System) Shootdowns() int64 { return s.shootSeqs }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"platinum/internal/sim"
+)
+
+// State is a coherent page's protocol state (Fig. 4 of the paper).
+type State uint8
+
+const (
+	// Empty: no physical pages back the Cpage.
+	Empty State = iota
+	// Present1: exactly one physical copy; all virtual-to-physical
+	// mappings are read-only.
+	Present1
+	// PresentPlus: two or more physical copies in different modules;
+	// all virtual-to-physical mappings are read-only.
+	PresentPlus
+	// Modified: exactly one physical copy and at least one
+	// virtual-to-physical mapping allows write access.
+	Modified
+)
+
+func (st State) String() string {
+	switch st {
+	case Empty:
+		return "empty"
+	case Present1:
+		return "present1"
+	case PresentPlus:
+		return "present+"
+	case Modified:
+		return "modified"
+	}
+	return fmt.Sprintf("State(%d)", uint8(st))
+}
+
+// Copy locates one physical copy of a coherent page.
+type Copy struct {
+	Module int // memory module holding the copy
+	Frame  int // frame index within the module
+}
+
+// CpageStats is the paper's per-Cpage instrumentation (§4.2): fault
+// counts, a contention measure for the fault handler, and protocol
+// event counts.
+type CpageStats struct {
+	ReadFaults    int64
+	WriteFaults   int64
+	Replications  int64    // copies created
+	Migrations    int64    // copy moved on write miss
+	Invalidations int64    // protocol invalidation/restriction events
+	RemoteMaps    int64    // faults resolved with a remote mapping
+	Freezes       int64    // times the policy froze the page
+	Thaws         int64    // times the defrost daemon thawed it
+	HandlerWait   sim.Time // time faults spent queued on the handler lock
+}
+
+// Faults returns the total coherent fault count.
+func (st *CpageStats) Faults() int64 { return st.ReadFaults + st.WriteFaults }
+
+// Cpage is one coherent page: the unit of replication, migration and
+// coherency. Each entry holds the directory of physical copies, the
+// protocol state, and the invalidation history the replication policy
+// consumes.
+type Cpage struct {
+	id    int64
+	label string // optional debug label set by the VM layer
+
+	state   State
+	dirMask uint64 // bit per module holding a copy
+	copies  []Copy // the copies themselves (directory list)
+
+	// writers is the set of processors holding a write mapping. The
+	// page is Modified iff state == Modified; writers lets downgrades
+	// target exactly the processors with write access.
+	writers uint64
+
+	lastInval   sim.Time // time of most recent protocol invalidation
+	everInval   bool
+	everWritten bool // a write fault has ever targeted this page
+	frozen      bool
+	frozenAt    sim.Time
+
+	home      int      // module whose kernel memory holds this entry
+	busyUntil sim.Time // fault-handler serialization ("Cpage lock")
+
+	// mappers: every Cmap entry that maps this Cpage, so data-coherency
+	// shootdowns can reach all address spaces (§3.1).
+	mappers []*CmapEntry
+
+	Stats CpageStats
+}
+
+// ID returns the coherent page's global id.
+func (cp *Cpage) ID() int64 { return cp.id }
+
+// Label returns the debug label, if any.
+func (cp *Cpage) Label() string { return cp.label }
+
+// SetLabel attaches a debug label used in instrumentation reports.
+func (cp *Cpage) SetLabel(l string) { cp.label = l }
+
+// State returns the protocol state.
+func (cp *Cpage) State() State { return cp.state }
+
+// Frozen reports whether the replication policy has frozen the page.
+func (cp *Cpage) Frozen() bool { return cp.frozen }
+
+// Copies returns the directory's copy list (do not modify).
+func (cp *Cpage) Copies() []Copy { return cp.copies }
+
+// HasCopy reports whether module mod holds a copy, and which frame.
+func (cp *Cpage) HasCopy(mod int) (frame int, ok bool) {
+	if cp.dirMask&(1<<uint(mod)) == 0 {
+		return 0, false
+	}
+	for _, c := range cp.copies {
+		if c.Module == mod {
+			return c.Frame, true
+		}
+	}
+	panic(fmt.Sprintf("core: cpage %d dirMask bit %d set without copy", cp.id, mod))
+}
+
+// addCopy records a new physical copy in the directory.
+func (cp *Cpage) addCopy(c Copy) {
+	if cp.dirMask&(1<<uint(c.Module)) != 0 {
+		panic(fmt.Sprintf("core: cpage %d already has a copy on module %d", cp.id, c.Module))
+	}
+	cp.dirMask |= 1 << uint(c.Module)
+	cp.copies = append(cp.copies, c)
+}
+
+// removeCopy removes the copy on module mod from the directory.
+func (cp *Cpage) removeCopy(mod int) Copy {
+	for i, c := range cp.copies {
+		if c.Module == mod {
+			cp.copies = append(cp.copies[:i], cp.copies[i+1:]...)
+			cp.dirMask &^= 1 << uint(mod)
+			return c
+		}
+	}
+	panic(fmt.Sprintf("core: cpage %d has no copy on module %d", cp.id, mod))
+}
+
+// NewCpage allocates a new coherent page in the Empty state. The virtual
+// memory layer calls this when a memory object page is first needed.
+func (s *System) NewCpage() *Cpage {
+	cp := &Cpage{
+		id:   int64(len(s.cpages)),
+		home: s.homeNext,
+	}
+	s.homeNext = (s.homeNext + 1) % s.machine.Nodes()
+	s.cpages = append(s.cpages, cp)
+	return cp
+}
+
+// Cpages returns all coherent pages, for instrumentation.
+func (s *System) Cpages() []*Cpage { return s.cpages }
+
+// MaterializeAt backs an Empty coherent page with a zero-filled frame on
+// the given module, putting it in the Present1 state. It is a setup-time
+// operation costing no virtual time, used to model deliberate static
+// data placement (e.g. the Uniform System's scattering of shared data
+// across all memories).
+func (s *System) MaterializeAt(cp *Cpage, module int) error {
+	if cp.state != Empty {
+		return fmt.Errorf("core: MaterializeAt on non-empty cpage %d (%v)", cp.id, cp.state)
+	}
+	if module < 0 || module >= s.machine.Nodes() {
+		return fmt.Errorf("core: MaterializeAt on bad module %d", module)
+	}
+	fr, _, ok := s.mem.Module(module).Alloc(cp.id)
+	if !ok {
+		return &ErrNoMemory{}
+	}
+	cp.addCopy(Copy{Module: module, Frame: fr})
+	cp.state = Present1
+	cp.home = module
+	return nil
+}
+
+// freeze marks cp frozen and registers it on the defrost daemon's list.
+func (s *System) freeze(cp *Cpage, now sim.Time) {
+	if cp.frozen {
+		return
+	}
+	cp.frozen = true
+	cp.frozenAt = now
+	cp.Stats.Freezes++
+	s.trace(now, EvFreeze, -1, cp)
+	s.frozen = append(s.frozen, cp)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"platinum/internal/sim"
+)
+
+// The defrost daemon (§4.2). The coherency protocol is fault-driven:
+// once every sharer of a frozen page has a remote mapping, no further
+// faults occur and the page would stay frozen forever even after the
+// access pattern changes. Every DefrostPeriod (t2, default 1 s) the
+// daemon invalidates all mappings to frozen pages, so subsequent
+// accesses fault again and the policy gets a fresh chance to replicate
+// or migrate.
+
+// DefrostSweep thaws every frozen page: all mappings are invalidated
+// (without recording invalidation history — a thaw is not interference),
+// the page leaves the frozen list, and its single copy remains so the
+// next fault decides placement. The shootdown costs are charged to the
+// calling thread, which runs on processor proc. It returns the number of
+// pages thawed.
+func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
+	if len(s.frozen) == 0 {
+		return 0
+	}
+	now := t.Now()
+	var delay sim.Time
+	thawed := 0
+	list := s.frozen
+	s.frozen = nil
+	for _, cp := range list {
+		if !cp.frozen {
+			continue // already thawed by a fault (thaw-on-fault policy)
+		}
+		d, _ := s.shootdownCpage(cp, proc, now, false, false, affectAll)
+		delay += d
+		cp.frozen = false
+		cp.writers = 0
+		if len(cp.copies) == 1 {
+			cp.state = Present1
+		}
+		cp.Stats.Thaws++
+		s.trace(now, EvThaw, proc, cp)
+		thawed++
+	}
+	if delay > 0 {
+		t.Advance(delay)
+	}
+	return thawed
+}
+
+// DefrostDue thaws only the frozen pages whose age exceeds minAge,
+// implementing the paper's proposed alternative of a thaw queue ordered
+// by per-page thaw time (§4.2: "maintain the list of frozen pages as a
+// priority queue ordered by thaw time ... allows the daemon to run more
+// often than every t2 seconds"). It returns the number thawed and the
+// earliest next thaw time (0 if no pages remain frozen).
+func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed int, next sim.Time) {
+	now := t.Now()
+	var delay sim.Time
+	list := s.frozen
+	s.frozen = nil
+	for _, cp := range list {
+		if !cp.frozen {
+			continue
+		}
+		if now-cp.frozenAt < minAge {
+			s.frozen = append(s.frozen, cp)
+			if due := cp.frozenAt + minAge; next == 0 || due < next {
+				next = due
+			}
+			continue
+		}
+		d, _ := s.shootdownCpage(cp, proc, now, false, false, affectAll)
+		delay += d
+		cp.frozen = false
+		cp.writers = 0
+		if len(cp.copies) == 1 {
+			cp.state = Present1
+		}
+		cp.Stats.Thaws++
+		s.trace(now, EvThaw, proc, cp)
+		thawed++
+	}
+	if delay > 0 {
+		t.Advance(delay)
+	}
+	return thawed, next
+}
+
+// StartDefrostDaemon spawns the defrost daemon as a simulation daemon
+// thread bound to processor proc. With AdaptiveDefrost unset it wakes
+// every cfg.DefrostPeriod and thaws everything frozen (the paper's
+// simple policy); with AdaptiveDefrost set it thaws each page once it
+// has been frozen for DefrostPeriod, sleeping only until the next page
+// is due (the §4.2 priority-queue alternative). It is a no-op
+// (returning nil) when the period is zero.
+func (s *System) StartDefrostDaemon(proc int) *sim.Thread {
+	period := s.cfg.DefrostPeriod
+	if period <= 0 {
+		return nil
+	}
+	t := s.machine.Engine().Spawn("defrost-daemon", func(th *sim.Thread) {
+		if !s.cfg.AdaptiveDefrost {
+			for {
+				th.Advance(period)
+				s.DefrostSweep(th, proc)
+			}
+		}
+		// Adaptive: poll frequently enough to notice new freezes, but
+		// only thaw pages that have aged a full period.
+		tick := period / 8
+		if tick <= 0 {
+			tick = period
+		}
+		for {
+			_, next := s.DefrostDue(th, proc, period)
+			sleep := tick
+			if next > 0 {
+				if d := next - th.Now(); d > 0 && d < sleep {
+					sleep = d
+				}
+			}
+			th.Advance(sleep)
+		}
+	})
+	t.SetDaemon(true)
+	return t
+}
+
+// FrozenPages returns the pages currently on the frozen list.
+func (s *System) FrozenPages() []*Cpage {
+	out := make([]*Cpage, 0, len(s.frozen))
+	for _, cp := range s.frozen {
+		if cp.frozen {
+			out = append(out, cp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"platinum/internal/phys"
+	"platinum/internal/sim"
+)
+
+// Touch resolves processor proc's access to virtual page vpn of the
+// address space described by cm, for a read (write=false) or write
+// (write=true). It returns the physical copy the access should use.
+//
+// The fast path — an address-translation-cache hit with sufficient
+// rights — costs nothing beyond the memory access the caller will
+// charge. An ATC miss that hits in the processor's private Pmap costs
+// one ATC reload. Anything else is a coherent memory fault, handled by
+// the Cpage fault handler (§3.3), whose (possibly multi-millisecond)
+// cost is charged to t before Touch returns.
+func (s *System) Touch(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool) (Copy, error) {
+	return s.Resolve(t, proc, cm, vpn, write, nil)
+}
+
+// Resolve is Touch with a data operation: apply (if non-nil) is called
+// with the resolved copy's page words *before* any virtual time is
+// charged for the operation. This matters for correctness, not just
+// accounting: the simulation engine may dispatch other threads during
+// the charge, and a concurrent fault could migrate the page — copying
+// its contents — in between. Applying the data operation atomically with
+// the resolution guarantees the protocol's serialization (the Cpage
+// handler lock) also serializes the data, exactly as in-flight accesses
+// complete before an invalidation is acknowledged on real hardware.
+func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
+	apply func(words []uint32)) (Copy, error) {
+	want := Read
+	if write {
+		want = Write
+	}
+	pen := s.chargePenalty(proc)
+	// ATC.
+	if pe, ok := s.atcs[proc].lookup(cm.id, vpn); ok && pe.rights.Allows(want) {
+		if apply != nil {
+			apply(s.mem.Module(pe.copy.Module).Words(pe.copy.Frame))
+		}
+		if pen > 0 {
+			t.Advance(pen)
+		}
+		return pe.copy, nil
+	}
+	// Pmap (the ATC reload path).
+	if pe, ok := cm.translation(proc, vpn); ok && pe.rights.Allows(want) {
+		s.atcs[proc].install(cm.id, vpn, pe.copy, pe.rights)
+		if apply != nil {
+			apply(s.mem.Module(pe.copy.Module).Words(pe.copy.Frame))
+		}
+		t.Advance(pen + s.machine.Config().ATCReload)
+		return pe.copy, nil
+	}
+	return s.fault(t, proc, cm, vpn, write, pen, apply)
+}
+
+// fault is the coherent page fault handler (§3.3). All protocol state
+// transitions (Fig. 4) happen here or in the defrost daemon.
+func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool, pen sim.Time,
+	apply func(words []uint32)) (Copy, error) {
+	e := cm.Lookup(vpn)
+	if e == nil {
+		return Copy{}, &ErrUnmapped{Proc: proc, VPN: vpn}
+	}
+	want := Read
+	if write {
+		want = Write
+	}
+	if !e.rights.Allows(want) {
+		return Copy{}, &ErrProtection{Proc: proc, VPN: vpn, Want: want, Grant: e.rights}
+	}
+	cp := e.cp
+	now := t.Now()
+	cur := now + pen + s.cfg.FaultBase
+
+	// Serialize on the Cpage: concurrent faults on the same page queue,
+	// and the queueing time is the paper's per-Cpage contention measure.
+	if cp.busyUntil > cur {
+		cp.Stats.HandlerWait += cp.busyUntil - cur
+		cur = cp.busyUntil
+	}
+	if cp.home != proc {
+		cur += s.cfg.KernelRemotePenalty
+	}
+
+	var c Copy
+	var err error
+	var lockEnd sim.Time
+	if write {
+		cp.Stats.WriteFaults++
+		cp.everWritten = true
+		s.trace(now, EvWriteFault, proc, cp)
+		c, cur, err = s.handleWrite(e, cp, proc, now, cur)
+	} else {
+		cp.Stats.ReadFaults++
+		s.trace(now, EvReadFault, proc, cp)
+		c, cur, lockEnd, err = s.handleRead(e, cp, proc, now, cur)
+	}
+	if err != nil {
+		return Copy{}, err
+	}
+	// The handler releases the Cpage lock before a replication's block
+	// transfer (lockEnd < cur in that case): concurrent replications of
+	// the same page then serialize at the source memory module — in
+	// hardware — which is where §5.1 locates the observed pivot-row
+	// serialization. All other transitions hold the lock to completion.
+	if lockEnd == 0 || lockEnd > cur {
+		lockEnd = cur
+	}
+	cp.busyUntil = lockEnd
+	if apply != nil {
+		apply(s.mem.Module(c.Module).Words(c.Frame))
+	}
+	t.Advance(cur - now)
+	return c, nil
+}
+
+// localIPTLookup finds the local copy through the inverted page table,
+// charging the strictly local probe cost (§3.3 explains why the IPT is
+// used instead of the directory's copy list).
+func (s *System) localIPTLookup(cp *Cpage, proc int, cur sim.Time) (frame int, newCur sim.Time) {
+	fr, probes, ok := s.mem.Module(proc).Lookup(cp.id)
+	if !ok {
+		panic("core: directory claims local copy but IPT lookup failed")
+	}
+	return fr, cur + sim.Time(probes)*s.machine.Config().LocalRead
+}
+
+// allocFrame allocates a frame for cp on module mod, charging the fixed
+// allocation overhead. ok=false if the module is out of frames.
+func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur sim.Time, ok bool) {
+	fr, _, ok := s.mem.Module(mod).Alloc(cp.id)
+	if !ok {
+		return phys.NoFrame, cur, false
+	}
+	return fr, cur + s.cfg.FrameAlloc, true
+}
+
+// copyPage performs the hardware block transfer backing a replication or
+// migration, moving both simulated time and real data.
+func (s *System) copyPage(src, dst Copy, cur sim.Time) sim.Time {
+	words := s.machine.Config().PageWords
+	d := s.machine.BlockTransferAt(cur, src.Module, dst.Module, words)
+	copy(s.mem.Module(dst.Module).Words(dst.Frame), s.mem.Module(src.Module).Words(src.Frame))
+	return cur + d
+}
+
+// chooseSource picks the physical copy to replicate from, per the
+// configured source-selection mode.
+func (s *System) chooseSource(cp *Cpage) Copy {
+	switch s.cfg.SourceSelection {
+	case SourceLeastLoaded:
+		best := cp.copies[0]
+		bestUntil := s.machine.BusyUntil(best.Module)
+		for _, c := range cp.copies[1:] {
+			if until := s.machine.BusyUntil(c.Module); until < bestUntil {
+				best, bestUntil = c, until
+			}
+		}
+		return best
+	default:
+		return cp.copies[0]
+	}
+}
+
+// freeCopy removes the copy on module mod from the directory and frees
+// its frame, charging the remote free cost.
+func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) sim.Time {
+	c := cp.removeCopy(mod)
+	s.mem.Module(c.Module).Free(c.Frame)
+	return cur + s.cfg.FrameFree
+}
+
+// materialize zero-fills an Empty page, preferring a local frame and
+// falling back to any module with space.
+func (s *System) materialize(cp *Cpage, vpn int64, proc int, cur sim.Time) (Copy, sim.Time, error) {
+	order := make([]int, 0, s.machine.Nodes())
+	order = append(order, proc)
+	for m := 0; m < s.machine.Nodes(); m++ {
+		if m != proc {
+			order = append(order, m)
+		}
+	}
+	for _, mod := range order {
+		if fr, nc, ok := s.allocFrame(cp, mod, cur); ok {
+			c := Copy{Module: mod, Frame: fr}
+			cp.addCopy(c)
+			return c, nc, nil
+		}
+	}
+	return Copy{}, cur, &ErrNoMemory{VPN: vpn}
+}
+
+// handleRead resolves a read fault (§3.3). lockEnd reports when the
+// Cpage handler lock is released; it precedes the returned completion
+// time only on the replication path, whose block transfer runs outside
+// the lock (zero means "held to completion").
+func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time) (Copy, sim.Time, sim.Time, error) {
+	cm := e.cmap
+
+	// A local physical copy may already exist (the Cpage can be shared
+	// by multiple address spaces, or the translation may simply have
+	// been evicted).
+	if _, ok := cp.HasCopy(proc); ok {
+		fr, cur := s.localIPTLookup(cp, proc, cur)
+		c := Copy{Module: proc, Frame: fr}
+		rights := Read
+		if cp.state == Modified && cp.writers&(1<<uint(proc)) != 0 {
+			rights = Read | Write
+		}
+		cm.installTranslation(proc, e, c, rights)
+		return c, cur + s.cfg.MapInstall, 0, nil
+	}
+
+	if cp.state == Empty {
+		c, cur, err := s.materialize(cp, e.vpn, proc, cur)
+		if err != nil {
+			return Copy{}, cur, 0, err
+		}
+		cp.state = Present1
+		cm.installTranslation(proc, e, c, Read)
+		return c, cur + s.cfg.MapInstall, 0, nil
+	}
+
+	// Copies exist, none local: replicate or map remotely.
+	dec := s.cfg.Policy.Decide(cp, now, false)
+	if dec.Cache {
+		if fr, nc, ok := s.allocFrame(cp, proc, cur); ok {
+			cur = nc
+			if cp.state == Modified {
+				// Restrict the write mappings to read-only before
+				// copying (modified -> present1, Fig. 4). A restriction
+				// is not recorded as invalidation history: it happens on
+				// every read-miss replication of a written page, and
+				// counting it would make any written page look
+				// write-shared. Interference is recorded where mappings
+				// are destroyed (migration and copy reclamation).
+				d, _ := s.shootdownCpage(cp, proc, now, true, false, affectWriters)
+				cur += d
+				cp.state = Present1
+				cp.writers = 0
+			}
+			src := s.chooseSource(cp)
+			dst := Copy{Module: proc, Frame: fr}
+			// Directory updated under the lock; the transfer itself runs
+			// after the lock is released (lockEnd) and serializes at the
+			// source module.
+			cp.addCopy(dst)
+			cp.state = PresentPlus
+			cp.Stats.Replications++
+			s.trace(cur, EvReplication, proc, cp)
+			if cp.frozen {
+				cp.frozen = false
+				cp.Stats.Thaws++
+			}
+			cm.installTranslation(proc, e, dst, Read)
+			lockEnd := cur + s.cfg.MapInstall
+			cur = s.copyPage(src, dst, lockEnd)
+			return dst, cur, lockEnd, nil
+		}
+		// No local frames: fall through to a remote mapping.
+	}
+
+	// Remote mapping. A frozen page grants the full rights the VM system
+	// permits (§3.3), avoiding an immediate write fault; this is safe
+	// only while a single copy exists. Freezing likewise requires a
+	// single copy — a read fault on a multi-copy page that the policy
+	// declines to replicate is mapped remotely but left unfrozen (the
+	// PLATINUM policy only freezes after an invalidation, which implies
+	// the modified single-copy state; other policies can reach this
+	// path).
+	src := s.chooseSource(cp)
+	rights := Read
+	if len(cp.copies) == 1 && e.rights.Allows(Write) && (dec.Freeze || cp.state == Modified) {
+		rights = Read | Write
+		cp.state = Modified
+		cp.writers |= 1 << uint(proc)
+	}
+	if dec.Freeze && len(cp.copies) == 1 {
+		s.freeze(cp, now)
+	}
+	cp.Stats.RemoteMaps++
+	s.trace(cur, EvRemoteMap, proc, cp)
+	cm.installTranslation(proc, e, src, rights)
+	return src, cur + s.cfg.MapInstall, 0, nil
+}
+
+// handleWrite resolves a write fault (§3.3).
+func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time) (Copy, sim.Time, error) {
+	cm := e.cmap
+
+	if cp.state == Empty {
+		c, cur, err := s.materialize(cp, e.vpn, proc, cur)
+		if err != nil {
+			return Copy{}, cur, err
+		}
+		cp.state = Modified
+		cp.writers = 1 << uint(proc)
+		cm.installTranslation(proc, e, c, Read|Write)
+		return c, cur + s.cfg.MapInstall, nil
+	}
+
+	if fr, ok := cp.HasCopy(proc); ok {
+		// Local copy: invalidate every other copy (present+ -> modified
+		// requires reclaiming remote copies; present1/modified -> just
+		// upgrade, "requires neither" per §3.2).
+		fr2, nc := s.localIPTLookup(cp, proc, cur)
+		if fr2 != fr {
+			panic("core: IPT and directory disagree")
+		}
+		cur = nc
+		local := Copy{Module: proc, Frame: fr}
+		cur = s.reclaimOtherCopies(cp, proc, local, now, cur)
+		cp.state = Modified
+		cp.writers |= 1 << uint(proc)
+		cm.installTranslation(proc, e, local, Read|Write)
+		return local, cur + s.cfg.MapInstall, nil
+	}
+
+	// No local copy.
+	dec := s.cfg.Policy.Decide(cp, now, true)
+	if dec.Cache {
+		if fr, nc, ok := s.allocFrame(cp, proc, cur); ok {
+			cur = nc
+			// Migrate: every existing translation points at a copy that
+			// is about to disappear, so invalidate them all.
+			d, _ := s.shootdownCpage(cp, proc, now, false, true, affectAll)
+			cur += d
+			src := s.chooseSource(cp)
+			dst := Copy{Module: proc, Frame: fr}
+			cur = s.copyPage(src, dst, cur)
+			for len(cp.copies) > 0 {
+				cur = s.freeCopy(cp, cp.copies[0].Module, cur)
+			}
+			cp.addCopy(dst)
+			cp.state = Modified
+			cp.writers = 1 << uint(proc)
+			cp.Stats.Migrations++
+			s.trace(cur, EvMigration, proc, cp)
+			if cp.frozen {
+				cp.frozen = false
+				cp.Stats.Thaws++
+			}
+			cm.installTranslation(proc, e, dst, Read|Write)
+			return dst, cur + s.cfg.MapInstall, nil
+		}
+	}
+
+	// Remote write mapping: requires a single copy, so first reduce
+	// present+ to one copy.
+	keep := s.chooseSource(cp)
+	cur = s.reclaimOtherCopies(cp, proc, keep, now, cur)
+	cp.state = Modified
+	cp.writers |= 1 << uint(proc)
+	if dec.Freeze {
+		s.freeze(cp, now)
+	}
+	cp.Stats.RemoteMaps++
+	s.trace(cur, EvRemoteMap, proc, cp)
+	cm.installTranslation(proc, e, keep, Read|Write)
+	return keep, cur + s.cfg.MapInstall, nil
+}
+
+// reclaimOtherCopies invalidates every translation pointing at a copy of
+// cp other than keep, then frees those copies. It is a single shootdown:
+// the synchronization cost is paid once and each further target costs
+// only the incremental interrupt dispatch, which together with the frame
+// free reproduces §4's 17 µs-per-extra-processor measurement.
+func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cur sim.Time) sim.Time {
+	if len(cp.copies) <= 1 {
+		return cur
+	}
+	d, _ := s.shootdownCpage(cp, initiator, now, false, true,
+		func(_ int, pe pmapEntry) bool { return pe.copy.Module != keep.Module })
+	cur += d
+	for _, c := range append([]Copy(nil), cp.copies...) {
+		if c.Module != keep.Module {
+			cur = s.freeCopy(cp, c.Module, cur)
+		}
+	}
+	return cur
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Validate checks the coherent memory system's structural invariants and
+// returns the first violation found. It is intended for tests and
+// debugging harnesses; it is not part of the simulated kernel and costs
+// no virtual time.
+//
+// The invariants checked are the ones the protocol's correctness rests
+// on (Fig. 4 and §3.2/§3.3):
+//
+//   - state/directory agreement: empty ⇔ no copies; present1 and
+//     modified have exactly one copy; present+ has at least two;
+//   - a frozen page has exactly one copy;
+//   - write mappings exist only in the modified state, and a writer set
+//     implies the modified state;
+//   - the directory bitmask and copy list agree, and each listed frame
+//     is owned by the page in its module's inverted page table;
+//   - every Pmap translation of an active processor points at a copy
+//     that is in the directory (inactive processors may hold stale
+//     translations covered by queued Cmap messages);
+//   - a write-granting Pmap translation implies a single copy.
+func (s *System) Validate() error {
+	for _, cp := range s.cpages {
+		if err := s.validateCpage(cp); err != nil {
+			return err
+		}
+	}
+	for _, cm := range s.cmaps {
+		if err := s.validateCmap(cm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) validateCpage(cp *Cpage) error {
+	n := len(cp.copies)
+	switch cp.state {
+	case Empty:
+		if n != 0 {
+			return fmt.Errorf("cpage %d: empty with %d copies", cp.id, n)
+		}
+	case Present1, Modified:
+		if n != 1 {
+			return fmt.Errorf("cpage %d: %v with %d copies", cp.id, cp.state, n)
+		}
+	case PresentPlus:
+		if n < 2 {
+			return fmt.Errorf("cpage %d: present+ with %d copies", cp.id, n)
+		}
+	}
+	if cp.frozen && n != 1 {
+		return fmt.Errorf("cpage %d: frozen with %d copies", cp.id, n)
+	}
+	if (cp.writers != 0) != (cp.state == Modified) {
+		return fmt.Errorf("cpage %d: writers=%b but state=%v", cp.id, cp.writers, cp.state)
+	}
+	if bits.OnesCount64(cp.dirMask) != n {
+		return fmt.Errorf("cpage %d: dirMask %b disagrees with %d copies", cp.id, cp.dirMask, n)
+	}
+	for _, c := range cp.copies {
+		if cp.dirMask&(1<<uint(c.Module)) == 0 {
+			return fmt.Errorf("cpage %d: copy on module %d missing from dirMask", cp.id, c.Module)
+		}
+		owner, ok := s.mem.Module(c.Module).Owner(c.Frame)
+		if !ok || owner != cp.id {
+			return fmt.Errorf("cpage %d: IPT owner of module %d frame %d is (%d,%v)",
+				cp.id, c.Module, c.Frame, owner, ok)
+		}
+	}
+	return nil
+}
+
+func (s *System) validateCmap(cm *Cmap) error {
+	for vpn, e := range cm.entries {
+		for proc := 0; proc < s.machine.Nodes(); proc++ {
+			pe, ok := cm.translation(proc, vpn)
+			hasBit := e.refMask&(1<<uint(proc)) != 0
+			if ok != hasBit {
+				return fmt.Errorf("cmap %d vpn %d: refMask bit %v but translation %v (proc %d)",
+					cm.id, vpn, hasBit, ok, proc)
+			}
+			if !ok || !cm.Active(proc) {
+				continue // stale entries of inactive procs are legal
+			}
+			cp := e.cp
+			if fr, has := cp.HasCopy(pe.copy.Module); !has || fr != pe.copy.Frame {
+				return fmt.Errorf("cmap %d vpn %d proc %d: translation to (%d,%d) not in directory of cpage %d",
+					cm.id, vpn, proc, pe.copy.Module, pe.copy.Frame, cp.id)
+			}
+			if pe.rights.Allows(Write) {
+				if cp.state != Modified {
+					return fmt.Errorf("cmap %d vpn %d proc %d: write mapping on %v page",
+						cm.id, vpn, proc, cp.state)
+				}
+				if len(cp.copies) != 1 {
+					return fmt.Errorf("cmap %d vpn %d proc %d: write mapping with %d copies",
+						cm.id, vpn, proc, len(cp.copies))
+				}
+			}
+		}
+	}
+	return nil
+}

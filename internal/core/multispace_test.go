@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"platinum/internal/sim"
+)
+
+// Tests for the multi-address-space behaviour of §3.1: "a change of
+// mappings required by the data coherency protocol must affect every
+// address space in which the Cpage is mapped."
+
+// twoSpaceFixture maps one coherent page into two address spaces.
+type twoSpaceFixture struct {
+	*fixture
+	cm2 *Cmap
+	cp  *Cpage
+}
+
+func newTwoSpaceFixture(t *testing.T) *twoSpaceFixture {
+	fx := newFixture(t, nil)
+	cp := fx.mapPage(0, Read|Write)
+	cm2 := fx.s.NewCmap()
+	for p := 0; p < fx.m.Nodes(); p++ {
+		cm2.Activate(nil, p)
+	}
+	if _, err := cm2.Enter(7, cp, Read|Write); err != nil {
+		t.Fatalf("Enter in second space: %v", err)
+	}
+	return &twoSpaceFixture{fixture: fx, cm2: cm2, cp: cp}
+}
+
+func TestShootdownCrossesAddressSpaces(t *testing.T) {
+	fx := newTwoSpaceFixture(t)
+	fx.run(func(th *sim.Thread) {
+		// Space 1, proc 0 reads; space 2, proc 1 reads via its own
+		// mapping (vpn 7): two copies, two spaces.
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		if _, err := fx.s.Touch(th, 1, fx.cm2, 7, false); err != nil {
+			t.Fatal(err)
+		}
+		if len(fx.cp.Copies()) != 2 {
+			t.Fatalf("copies = %d, want 2", len(fx.cp.Copies()))
+		}
+		// A write through space 1 must invalidate space 2's translation.
+		fx.touch(th, 0, 0, true)
+		if _, ok := fx.cm2.translation(1, 7); ok {
+			t.Error("space 2's translation survived a space-1 write reclaim")
+		}
+		if len(fx.cp.Copies()) != 1 {
+			t.Errorf("copies = %d after reclaim, want 1", len(fx.cp.Copies()))
+		}
+	})
+}
+
+func TestCrossSpaceDataVisibility(t *testing.T) {
+	fx := newTwoSpaceFixture(t)
+	fx.run(func(th *sim.Thread) {
+		c, err := fx.s.Resolve(th, 2, fx.cm2, 7, true, func(w []uint32) { w[0] = 31337 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c
+		th.Advance(quiet)
+		var got uint32
+		if _, err := fx.s.Resolve(th, 5, fx.cm, 0, false, func(w []uint32) { got = w[0] }); err != nil {
+			t.Fatal(err)
+		}
+		if got != 31337 {
+			t.Errorf("space 1 read %d through shared page, want 31337", got)
+		}
+	})
+}
+
+func TestInactiveSecondSpaceGetsQueuedMessage(t *testing.T) {
+	fx := newTwoSpaceFixture(t)
+	fx.run(func(th *sim.Thread) {
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		if _, err := fx.s.Touch(th, 1, fx.cm2, 7, false); err != nil {
+			t.Fatal(err)
+		}
+		// Space 2's only user goes inactive.
+		fx.cm2.Deactivate(1)
+		fx.touch(th, 0, 0, true) // reclaim space 2's copy
+		if fx.cm2.PendingMessages() == 0 {
+			t.Fatal("no message queued for inactive space-2 processor")
+		}
+		fx.cm2.Activate(th, 1)
+		if _, ok := fx.cm2.translation(1, 7); ok {
+			t.Error("stale translation survived activation")
+		}
+	})
+}
+
+func TestCmapRemoveInvalidatesEverywhere(t *testing.T) {
+	fx := newFixture(t, nil)
+	cp := fx.mapPage(0, Read|Write)
+	fx.run(func(th *sim.Thread) {
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		fx.touch(th, 1, 0, false)
+		if err := fx.cm.Remove(th, 0, 0); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		// All translations gone; further access is an unmapped fault.
+		_, err := fx.s.Touch(th, 1, fx.cm, 0, false)
+		var um *ErrUnmapped
+		if !errors.As(err, &um) {
+			t.Fatalf("post-remove access: %v, want ErrUnmapped", err)
+		}
+		// The page's copies survive (the object still exists), but no
+		// mapper remains.
+		if len(cp.mappers) != 0 {
+			t.Errorf("mappers = %d after Remove, want 0", len(cp.mappers))
+		}
+	})
+	if err := fx.s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmapRemoveErrors(t *testing.T) {
+	fx := newFixture(t, nil)
+	fx.run(func(th *sim.Thread) {
+		if err := fx.cm.Remove(th, 0, 99); err == nil {
+			t.Error("Remove of unmapped vpn succeeded")
+		}
+	})
+}
+
+func TestDiscardUnused(t *testing.T) {
+	fx := newFixture(t, nil)
+	fx.mapPage(0, Read|Write)
+	fx.run(func(th *sim.Thread) {
+		// Untouched mapping: discard works.
+		cp2 := fx.s.NewCpage()
+		if _, err := fx.cm.Enter(1, cp2, Read); err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.cm.DiscardUnused(1); err != nil {
+			t.Fatalf("DiscardUnused: %v", err)
+		}
+		if fx.cm.Lookup(1) != nil {
+			t.Error("entry survived discard")
+		}
+		// Touched mapping: refuse.
+		fx.touch(th, 0, 0, false)
+		if err := fx.cm.DiscardUnused(0); err == nil {
+			t.Error("DiscardUnused of live mapping succeeded")
+		}
+		// Missing mapping: refuse.
+		if err := fx.cm.DiscardUnused(42); err == nil {
+			t.Error("DiscardUnused of unmapped vpn succeeded")
+		}
+	})
+}
+
+func TestValidateToleratesInactiveStaleTranslations(t *testing.T) {
+	fx := newTwoSpaceFixture(t)
+	fx.run(func(th *sim.Thread) {
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		if _, err := fx.s.Touch(th, 1, fx.cm2, 7, false); err != nil {
+			t.Fatal(err)
+		}
+		fx.cm2.Deactivate(1)
+		fx.touch(th, 0, 0, true) // space-2 translation now stale but queued
+		if err := fx.s.Validate(); err != nil {
+			t.Errorf("Validate rejected legal stale translation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"platinum/internal/mach"
+	"platinum/internal/sim"
+)
+
+// TestPropertyProtocolCoherence drives the protocol with random access
+// sequences and checks, after every operation, that (a) the structural
+// invariants hold and (b) memory is coherent: a read always observes the
+// most recently written value, whatever replication, migration,
+// freezing, and thawing happened in between.
+func TestPropertyProtocolCoherence(t *testing.T) {
+	policies := []func() Policy{
+		func() Policy { return NewPlatinumPolicy(DefaultT1, false) },
+		func() Policy { return NewPlatinumPolicy(DefaultT1, true) },
+		func() Policy { return AlwaysCache{} },
+		func() Policy { return NeverCache{} },
+		func() Policy { return MigrateOnce{Limit: 2} },
+	}
+	f := func(seed int64, policyIdx uint8) bool {
+		pol := policies[int(policyIdx)%len(policies)]()
+		rng := rand.New(rand.NewSource(seed))
+
+		mc := mach.DefaultConfig()
+		mc.Nodes = 4
+		cc := DefaultConfig()
+		cc.Policy = pol
+		cc.FramesPerModule = 32
+
+		e := sim.NewEngine()
+		m, err := mach.New(e, mc)
+		if err != nil {
+			return false
+		}
+		s, err := NewSystem(m, cc)
+		if err != nil {
+			return false
+		}
+		cm := s.NewCmap()
+		cm2 := s.NewCmap() // second address space sharing page 0
+		for p := 0; p < mc.Nodes; p++ {
+			cm.Activate(nil, p)
+			cm2.Activate(nil, p)
+		}
+
+		const npages = 5
+		shadow := make([]uint32, npages)
+		for vpn := int64(0); vpn < npages; vpn++ {
+			cp := s.NewCpage()
+			if _, err := cm.Enter(vpn, cp, Read|Write); err != nil {
+				return false
+			}
+			if vpn == 0 {
+				if _, err := cm2.Enter(100, cp, Read|Write); err != nil {
+					return false
+				}
+			}
+		}
+
+		ok := true
+		e.Spawn("driver", func(th *sim.Thread) {
+			nextVal := uint32(1)
+			for step := 0; step < 250 && ok; step++ {
+				proc := rng.Intn(mc.Nodes)
+				vpn := int64(rng.Intn(npages))
+				space, useVPN := cm, vpn
+				if vpn == 0 && rng.Intn(3) == 0 {
+					space, useVPN = cm2, 100
+				}
+				switch op := rng.Intn(10); {
+				case op < 5: // read
+					c, err := s.Touch(th, proc, space, useVPN, false)
+					if err != nil {
+						ok = false
+						return
+					}
+					if got := s.Memory().Module(c.Module).Words(c.Frame)[0]; got != shadow[vpn] {
+						t.Errorf("seed %d step %d: read vpn %d = %d, want %d (policy %s)",
+							seed, step, vpn, got, shadow[vpn], pol.Name())
+						ok = false
+						return
+					}
+				case op < 9: // write
+					c, err := s.Touch(th, proc, space, useVPN, true)
+					if err != nil {
+						ok = false
+						return
+					}
+					s.Memory().Module(c.Module).Words(c.Frame)[0] = nextVal
+					shadow[vpn] = nextVal
+					nextVal++
+				case op == 9: // time jump and occasionally defrost
+					th.Advance(sim.Time(rng.Intn(int(3 * DefaultT1))))
+					if rng.Intn(2) == 0 {
+						s.DefrostSweep(th, proc)
+					}
+				}
+				if err := s.Validate(); err != nil {
+					t.Errorf("seed %d step %d: invariant violated: %v (policy %s)",
+						seed, step, err, pol.Name())
+					ok = false
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFrameConservation checks that frames never leak: after any
+// access sequence, the frames in use equal the copies in directories.
+func TestPropertyFrameConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mc := mach.DefaultConfig()
+		mc.Nodes = 4
+		cc := DefaultConfig()
+		cc.FramesPerModule = 16
+		e := sim.NewEngine()
+		m, _ := mach.New(e, mc)
+		s, _ := NewSystem(m, cc)
+		cm := s.NewCmap()
+		for p := 0; p < mc.Nodes; p++ {
+			cm.Activate(nil, p)
+		}
+		for vpn := int64(0); vpn < 8; vpn++ {
+			cp := s.NewCpage()
+			if _, err := cm.Enter(vpn, cp, Read|Write); err != nil {
+				return false
+			}
+		}
+		okc := true
+		e.Spawn("driver", func(th *sim.Thread) {
+			for step := 0; step < 200; step++ {
+				proc := rng.Intn(mc.Nodes)
+				vpn := int64(rng.Intn(8))
+				if _, err := s.Touch(th, proc, cm, vpn, rng.Intn(2) == 0); err != nil {
+					okc = false
+					return
+				}
+				if rng.Intn(20) == 0 {
+					th.Advance(3 * DefaultT1)
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if !okc {
+			return false
+		}
+		// Count copies in directories vs frames in use.
+		copies := 0
+		for _, cp := range s.Cpages() {
+			copies += len(cp.Copies())
+		}
+		inUse := 0
+		for mod := 0; mod < mc.Nodes; mod++ {
+			mm := s.Memory().Module(mod)
+			inUse += mm.TotalFrames() - mm.FreeFrames()
+		}
+		return copies == inUse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterministicTiming runs an identical random workload
+// twice and requires identical final virtual times and fault counts.
+func TestPropertyDeterministicTiming(t *testing.T) {
+	run := func(seed int64) (sim.Time, int64) {
+		rng := rand.New(rand.NewSource(seed))
+		mc := mach.DefaultConfig()
+		mc.Nodes = 8
+		cc := DefaultConfig()
+		e := sim.NewEngine()
+		m, _ := mach.New(e, mc)
+		s, _ := NewSystem(m, cc)
+		cm := s.NewCmap()
+		for p := 0; p < mc.Nodes; p++ {
+			cm.Activate(nil, p)
+		}
+		for vpn := int64(0); vpn < 4; vpn++ {
+			cp := s.NewCpage()
+			if _, err := cm.Enter(vpn, cp, Read|Write); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ops := make([][3]int, 100)
+		for i := range ops {
+			ops[i] = [3]int{rng.Intn(mc.Nodes), rng.Intn(4), rng.Intn(2)}
+		}
+		for p := 0; p < mc.Nodes; p++ {
+			p := p
+			e.Spawn("w", func(th *sim.Thread) {
+				for _, op := range ops {
+					if op[0] != p {
+						continue
+					}
+					if _, err := s.Touch(th, p, cm, int64(op[1]), op[2] == 1); err != nil {
+						t.Error(err)
+						return
+					}
+					th.Advance(sim.Microsecond)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var faults int64
+		for _, cp := range s.Cpages() {
+			faults += cp.Stats.Faults()
+		}
+		return e.Now(), faults
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		t1, f1 := run(seed)
+		t2, f2 := run(seed)
+		if t1 != t2 || f1 != f2 {
+			t.Fatalf("seed %d: nondeterministic: (%v,%d) vs (%v,%d)", seed, t1, f1, t2, f2)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"platinum/internal/sim"
+)
+
+// This file implements the paper's kernel instrumentation (§4.2): "the
+// kernel produces a detailed report on the behavior of memory
+// management. For each Cpage this includes the number of coherent memory
+// faults, a measure of contention in the Cpage fault handler for that
+// page, and whether the Cpage was frozen by the replication policy."
+// This report is what let the authors diagnose the frozen-pivot-page
+// anomaly in the Gaussian elimination program.
+
+// PageReport is the post-mortem record for one coherent page.
+type PageReport struct {
+	ID           int64
+	Label        string
+	State        State
+	Frozen       bool
+	Copies       int
+	ReadFaults   int64
+	WriteFaults  int64
+	Replications int64
+	Migrations   int64
+	Invalidated  int64
+	RemoteMaps   int64
+	Freezes      int64
+	Thaws        int64
+	HandlerWait  sim.Time
+}
+
+// Report summarizes the memory management system's behaviour.
+type Report struct {
+	Policy     string
+	Pages      []PageReport
+	Shootdowns int64
+	ATC        []ATCStats
+}
+
+// Report builds the post-mortem report. Pages with no faults are
+// omitted; the rest are sorted by total fault count, descending.
+func (s *System) Report() Report {
+	r := Report{
+		Policy:     s.cfg.Policy.Name(),
+		Shootdowns: s.shootSeqs,
+		ATC:        s.ATCStats(),
+	}
+	for _, cp := range s.cpages {
+		if cp.Stats.Faults() == 0 && !cp.frozen {
+			continue
+		}
+		r.Pages = append(r.Pages, PageReport{
+			ID:           cp.id,
+			Label:        cp.label,
+			State:        cp.state,
+			Frozen:       cp.frozen,
+			Copies:       len(cp.copies),
+			ReadFaults:   cp.Stats.ReadFaults,
+			WriteFaults:  cp.Stats.WriteFaults,
+			Replications: cp.Stats.Replications,
+			Migrations:   cp.Stats.Migrations,
+			Invalidated:  cp.Stats.Invalidations,
+			RemoteMaps:   cp.Stats.RemoteMaps,
+			Freezes:      cp.Stats.Freezes,
+			Thaws:        cp.Stats.Thaws,
+			HandlerWait:  cp.Stats.HandlerWait,
+		})
+	}
+	sort.Slice(r.Pages, func(i, j int) bool {
+		fi := r.Pages[i].ReadFaults + r.Pages[i].WriteFaults
+		fj := r.Pages[j].ReadFaults + r.Pages[j].WriteFaults
+		if fi != fj {
+			return fi > fj
+		}
+		return r.Pages[i].ID < r.Pages[j].ID
+	})
+	return r
+}
+
+// WriteTo prints the report as a human-readable table.
+func (r Report) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := p("coherent memory report (policy %s, %d shootdowns)\n",
+		r.Policy, r.Shootdowns); err != nil {
+		return n, err
+	}
+	if err := p("%6s %-18s %-9s %3s %6s %6s %6s %6s %6s %6s %4s %4s %12s\n",
+		"cpage", "label", "state", "cp", "rdflt", "wrflt", "repl",
+		"migr", "inval", "remote", "frz", "thaw", "handler-wait"); err != nil {
+		return n, err
+	}
+	for _, pg := range r.Pages {
+		frozen := ""
+		if pg.Frozen {
+			frozen = " FROZEN"
+		}
+		if err := p("%6d %-18s %-9s %3d %6d %6d %6d %6d %6d %6d %4d %4d %12v%s\n",
+			pg.ID, pg.Label, pg.State, pg.Copies, pg.ReadFaults,
+			pg.WriteFaults, pg.Replications, pg.Migrations, pg.Invalidated,
+			pg.RemoteMaps, pg.Freezes, pg.Thaws, pg.HandlerWait, frozen); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TotalFaults sums faults across all reported pages.
+func (r Report) TotalFaults() int64 {
+	var total int64
+	for _, pg := range r.Pages {
+		total += pg.ReadFaults + pg.WriteFaults
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package core
+
+import "platinum/internal/sim"
+
+// The PLATINUM shootdown mechanism (§3.1). Because every processor has
+// a private Pmap per address space, a mapping change must reach every
+// processor whose reference mask says it holds a translation — and only
+// those. Targets whose address space is currently active are interrupted
+// (costing the initiator ShootdownSync for the first and
+// InterruptDispatch for each additional one); inactive targets merely
+// get a Cmap message queued, which they apply when they next activate
+// the space. This is the key scalability difference from Mach's
+// shootdown, which stalls every processor with the space active.
+
+// shootdownEntry applies a mapping change for one Cmap entry to every
+// processor (other than initiator) whose translation matches the
+// affected predicate. restrict downgrades translations to read-only;
+// otherwise they are invalidated. It returns the delay to charge the
+// initiator and the number of processors interrupted.
+//
+// The initiator's own translation, if affected, is fixed directly at no
+// interrupt cost (it is executing the handler).
+func (s *System) shootdownEntry(e *CmapEntry, initiator int, now sim.Time,
+	restrict bool, affected func(proc int, pe pmapEntry) bool) (delay sim.Time, interrupted int) {
+	d, n, _ := s.shootdownEntryTracked(e, initiator, now, restrict, 0, affected)
+	return d, n
+}
+
+// shootdownEntryTracked is shootdownEntry, additionally reporting whether
+// any processor other than the initiator was affected (interrupted or
+// queued) — the signal the replication policy's invalidation history
+// records. prior is the number of targets already interrupted earlier in
+// the same composite operation: the expensive synchronization is paid
+// once per fault, and every further target costs only the incremental
+// interrupt dispatch (§4's 7 µs).
+func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time,
+	restrict bool, prior int, affected func(proc int, pe pmapEntry) bool) (delay sim.Time, interrupted int, others bool) {
+
+	cm := e.cmap
+	if e.refMask == 0 {
+		return 0, 0, false
+	}
+	var queued uint64
+	posted := false
+	for proc := 0; proc < s.machine.Nodes(); proc++ {
+		if e.refMask&(1<<uint(proc)) == 0 {
+			continue
+		}
+		pe, ok := cm.translation(proc, e.vpn)
+		if !ok || !affected(proc, pe) {
+			continue
+		}
+		if proc == initiator {
+			if restrict {
+				cm.restrictTranslation(proc, e.vpn)
+			} else {
+				cm.dropTranslation(proc, e.vpn)
+			}
+			continue
+		}
+		if !posted {
+			delay += s.cfg.ShootdownPost
+			posted = true
+		}
+		if cm.Active(proc) {
+			// Interrupt the target and apply the change now.
+			if prior+interrupted == 0 {
+				delay += s.cfg.ShootdownSync
+			} else {
+				delay += s.machine.Config().InterruptDispatch
+			}
+			interrupted++
+			s.penalty[proc] += s.machine.Config().InterruptHandle
+			if restrict {
+				cm.restrictTranslation(proc, e.vpn)
+			} else {
+				cm.dropTranslation(proc, e.vpn)
+			}
+		} else {
+			queued |= 1 << uint(proc)
+		}
+	}
+	cm.postMsg(e.vpn, restrict, queued)
+	s.shootSeqs++
+	return delay, interrupted, posted
+}
+
+// shootdownCpage applies a mapping change across every address space
+// that maps cp (§3.1: "a change of mappings required by the data
+// coherency protocol must affect every address space in which the Cpage
+// is mapped"). It returns the combined initiator delay and interrupt
+// count. When recordInval is set and another processor's mapping was
+// actually changed, the Cpage's invalidation history is updated — the
+// signal the replication policy uses to detect interference. The defrost
+// daemon passes recordInval=false: a thaw is not interference.
+func (s *System) shootdownCpage(cp *Cpage, initiator int, now sim.Time,
+	restrict, recordInval bool, affected func(proc int, pe pmapEntry) bool) (delay sim.Time, interrupted int) {
+
+	changed := false
+	for _, e := range cp.mappers {
+		d, n, others := s.shootdownEntryTracked(e, initiator, now, restrict, interrupted, affected)
+		delay += d
+		interrupted += n
+		if others {
+			changed = true
+		}
+	}
+	if changed && recordInval {
+		cp.lastInval = now
+		cp.everInval = true
+		cp.Stats.Invalidations++
+		s.trace(now, EvInvalidation, initiator, cp)
+	}
+	return delay, interrupted
+}
+
+// affectAll matches every translation.
+func affectAll(int, pmapEntry) bool { return true }
+
+// affectWriters matches translations granting write access.
+func affectWriters(_ int, pe pmapEntry) bool { return pe.rights.Allows(Write) }

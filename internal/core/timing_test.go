@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"platinum/internal/mach"
+	"platinum/internal/sim"
+)
+
+// These tests pin the composite fault costs to the ranges the paper
+// measures in §4 on the Butterfly Plus. The simulator does not need to
+// match to the nanosecond, but the composites must stay in the paper's
+// ballpark or the experiments lose their meaning.
+
+// measure returns the cost of one operation performed by the driver.
+func measure(th *sim.Thread, op func()) sim.Time {
+	start := th.Now()
+	op()
+	return th.Now() - start
+}
+
+func between(t *testing.T, name string, got, lo, hi sim.Time) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %v, want in [%v, %v]", name, got, lo, hi)
+	}
+}
+
+func TestReadMissReplicatingNonModifiedPage(t *testing.T) {
+	// §4: 1.34 ms (kernel data local) to 1.38 ms (remote).
+	fx := newFixture(t, nil)
+	fx.mapPage(0, Read|Write) // cpage 0: home module 0
+	fx.mapPage(1, Read|Write) // cpage 1: home module 1
+	fx.run(func(th *sim.Thread) {
+		// Page 0: seed on proc 0 (home 0), fault from proc 1 => remote
+		// kernel structures.
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		remote := measure(th, func() { fx.touch(th, 1, 0, false) })
+		between(t, "read miss non-modified (kernel remote)", remote,
+			1340*sim.Microsecond, 1450*sim.Microsecond)
+
+		// Page 1: seed on proc 0, fault from proc 1 whose node holds the
+		// kernel structures (home 1) => local.
+		fx.touch(th, 0, 1, false)
+		th.Advance(quiet)
+		local := measure(th, func() { fx.touch(th, 1, 1, false) })
+		between(t, "read miss non-modified (kernel local)", local,
+			1300*sim.Microsecond, 1400*sim.Microsecond)
+		if local >= remote {
+			t.Errorf("local kernel-data case (%v) not cheaper than remote (%v)", local, remote)
+		}
+	})
+}
+
+func TestReadMissReplicatingModifiedPage(t *testing.T) {
+	// §4: 1.38–1.59 ms with one processor interrupted to restrict its
+	// mapping.
+	fx := newFixture(t, nil)
+	fx.mapPage(0, Read|Write)
+	fx.run(func(th *sim.Thread) {
+		fx.touch(th, 0, 0, true) // modified on module 0
+		th.Advance(quiet)
+		d := measure(th, func() { fx.touch(th, 1, 0, false) })
+		between(t, "read miss modified", d,
+			1380*sim.Microsecond, 1650*sim.Microsecond)
+	})
+}
+
+func TestWriteMissOnPresentPlusPage(t *testing.T) {
+	// §4: 0.25–0.45 ms with one processor interrupted and one frame
+	// freed.
+	fx := newFixture(t, nil)
+	fx.mapPage(0, Read|Write)
+	fx.run(func(th *sim.Thread) {
+		fx.touch(th, 0, 0, false)
+		th.Advance(quiet)
+		fx.touch(th, 1, 0, false) // two copies now
+		d := measure(th, func() { fx.touch(th, 0, 0, true) })
+		between(t, "write miss present+", d,
+			250*sim.Microsecond, 450*sim.Microsecond)
+	})
+}
+
+func TestIncrementalShootdownCostIs17us(t *testing.T) {
+	// §4: each additional processor interrupted (7 µs) plus frame freed
+	// (10 µs) adds no more than 17 µs for up to 16 processors.
+	costs := make(map[int]sim.Time)
+	for _, readers := range []int{1, 2, 4, 8, 15} {
+		readers := readers
+		fx := newFixture(t, nil)
+		fx.mapPage(0, Read|Write)
+		fx.run(func(th *sim.Thread) {
+			fx.touch(th, 0, 0, false)
+			th.Advance(quiet)
+			for r := 1; r <= readers; r++ {
+				fx.touch(th, r, 0, false)
+			}
+			costs[readers] = measure(th, func() { fx.touch(th, 0, 0, true) })
+		})
+	}
+	// Incremental cost per additional (reader copy + interrupt).
+	per := (costs[15] - costs[1]) / 14
+	if per != 17*sim.Microsecond {
+		t.Errorf("incremental shootdown cost = %v per target, want 17µs", per)
+	}
+	if costs[2]-costs[1] != 17*sim.Microsecond {
+		t.Errorf("2nd target increment = %v, want 17µs", costs[2]-costs[1])
+	}
+	if costs[8]-costs[4] != 4*17*sim.Microsecond {
+		t.Errorf("4->8 increment = %v, want 68µs", costs[8]-costs[4])
+	}
+}
+
+func TestFaultCostsScaleWithBlockTransferSpeed(t *testing.T) {
+	// §4.1/§7: block transfer speed dominates replication cost. Halving
+	// the per-word copy cost should cut the read-miss cost by nearly the
+	// full transfer-time difference.
+	run := func(perWord sim.Time) sim.Time {
+		var d sim.Time
+		fx := newFixture(t, func(mc *mach.Config, _ *Config) {
+			mc.BlockCopyPerWord = perWord
+		})
+		fx.mapPage(0, Read|Write)
+		fx.run(func(th *sim.Thread) {
+			fx.touch(th, 0, 0, false)
+			th.Advance(quiet)
+			d = measure(th, func() { fx.touch(th, 1, 0, false) })
+		})
+		return d
+	}
+	slow := run(1100 * sim.Nanosecond)
+	fast := run(550 * sim.Nanosecond)
+	wantDiff := 550 * sim.Nanosecond * 1024
+	if slow-fast != wantDiff {
+		t.Errorf("halving T_b saved %v, want %v", slow-fast, wantDiff)
+	}
+}

@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"fmt"
+
+	"platinum/internal/core"
+	"platinum/internal/kernel"
+	"platinum/internal/mach"
+	"platinum/internal/sim"
+)
+
+// basic-ops regenerates §4's measurements of the fundamental coherent
+// memory operations, alongside the ranges the paper reports for the
+// Butterfly Plus.
+
+func init() {
+	register(Experiment{
+		ID:    "basic-ops",
+		Paper: "§4 basic operation timings",
+		Run:   runBasicOps,
+	})
+}
+
+// opsFixture boots a machine and maps a fresh page per scenario.
+type opsFixture struct {
+	k  *kernel.Kernel
+	cm *core.Cmap
+	s  *core.System
+}
+
+func newOpsFixture() (*opsFixture, error) {
+	k, err := kernel.Boot(kernel.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := k.System()
+	cm := s.NewCmap()
+	for p := 0; p < k.Nodes(); p++ {
+		cm.Activate(nil, p)
+	}
+	return &opsFixture{k: k, cm: cm, s: s}, nil
+}
+
+// measureOp runs setup and op on a driver thread and returns op's cost.
+func (fx *opsFixture) measureOp(setup, op func(th *sim.Thread)) (sim.Time, error) {
+	var cost sim.Time
+	fx.k.Engine().Spawn("measure", func(th *sim.Thread) {
+		if setup != nil {
+			setup(th)
+		}
+		th.Advance(3 * core.DefaultT1) // quiet period
+		start := th.Now()
+		op(th)
+		cost = th.Now() - start
+	})
+	if err := fx.k.Engine().Run(); err != nil {
+		return 0, err
+	}
+	return cost, nil
+}
+
+func (fx *opsFixture) page(vpn int64) (*core.Cpage, error) {
+	cp := fx.s.NewCpage()
+	_, err := fx.cm.Enter(vpn, cp, core.Read|core.Write)
+	return cp, err
+}
+
+func (fx *opsFixture) touch(th *sim.Thread, proc int, vpn int64, write bool) error {
+	_, err := fx.s.Touch(th, proc, fx.cm, vpn, write)
+	return err
+}
+
+func runBasicOps(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "basic-ops",
+		Title:  "basic coherent memory operations (measured vs paper)",
+		Header: []string{"operation", "measured", "paper"},
+	}
+	mc := mach.DefaultConfig()
+
+	add := func(name string, measured sim.Time, paper string) {
+		t.Rows = append(t.Rows, []string{name, measured.String(), paper})
+	}
+
+	// Page copy.
+	{
+		fx, err := newOpsFixture()
+		if err != nil {
+			return nil, err
+		}
+		var d sim.Time
+		fx.k.Engine().Spawn("copy", func(th *sim.Thread) {
+			d = fx.k.Machine().BlockTransfer(th, 1, 0, mc.PageWords)
+		})
+		if err := fx.k.Engine().Run(); err != nil {
+			return nil, err
+		}
+		add("page copy (4KB block transfer)", d, "1.11 ms")
+	}
+
+	// Read miss replicating a non-modified page (kernel data local and
+	// remote).
+	for _, remoteKernel := range []bool{false, true} {
+		fx, err := newOpsFixture()
+		if err != nil {
+			return nil, err
+		}
+		// Cpage homes are assigned round-robin from 0: vpn 0 -> home 0,
+		// vpn 1 -> home 1. Faulting from proc 1 makes home 0 remote and
+		// home 1 local.
+		var vpn int64
+		if remoteKernel {
+			vpn = 0
+		} else {
+			vpn = 1
+		}
+		if _, err := fx.page(0); err != nil {
+			return nil, err
+		}
+		if _, err := fx.page(1); err != nil {
+			return nil, err
+		}
+		d, err := fx.measureOp(
+			func(th *sim.Thread) { _ = fx.touch(th, 0, vpn, false) },
+			func(th *sim.Thread) { _ = fx.touch(th, 1, vpn, false) },
+		)
+		if err != nil {
+			return nil, err
+		}
+		which := "kernel data local"
+		paper := "1.34 ms"
+		if remoteKernel {
+			which = "kernel data remote"
+			paper = "1.38 ms"
+		}
+		add("read miss, replicate non-modified ("+which+")", d, paper)
+	}
+
+	// Read miss replicating a modified page (one writer downgraded).
+	{
+		fx, err := newOpsFixture()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fx.page(0); err != nil {
+			return nil, err
+		}
+		d, err := fx.measureOp(
+			func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
+			func(th *sim.Thread) { _ = fx.touch(th, 1, 0, false) },
+		)
+		if err != nil {
+			return nil, err
+		}
+		add("read miss, replicate modified (1 writer restricted)", d, "1.38-1.59 ms")
+	}
+
+	// Write miss on a present+ page (1 target invalidated, 1 page freed).
+	{
+		fx, err := newOpsFixture()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fx.page(0); err != nil {
+			return nil, err
+		}
+		d, err := fx.measureOp(
+			func(th *sim.Thread) {
+				_ = fx.touch(th, 0, 0, false)
+				th.Advance(3 * core.DefaultT1)
+				_ = fx.touch(th, 1, 0, false)
+			},
+			func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
+		)
+		if err != nil {
+			return nil, err
+		}
+		add("write miss on present+ (1 invalidation, 1 free)", d, "0.25-0.45 ms")
+	}
+
+	// Incremental cost per additional shootdown target.
+	{
+		cost := func(readers int) (sim.Time, error) {
+			fx, err := newOpsFixture()
+			if err != nil {
+				return 0, err
+			}
+			if _, err := fx.page(0); err != nil {
+				return 0, err
+			}
+			return fx.measureOp(
+				func(th *sim.Thread) {
+					_ = fx.touch(th, 0, 0, false)
+					th.Advance(3 * core.DefaultT1)
+					for r := 1; r <= readers; r++ {
+						_ = fx.touch(th, r, 0, false)
+					}
+				},
+				func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
+			)
+		}
+		c1, err := cost(1)
+		if err != nil {
+			return nil, err
+		}
+		c15, err := cost(15)
+		if err != nil {
+			return nil, err
+		}
+		per := (c15 - c1) / 14
+		add("incremental cost per extra shootdown target", per,
+			"<= 17 µs (vs 55 µs in Mach on the Multimax)")
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("machine: %d nodes, T_l=%v, T_r=%v, T_b=%v/word",
+			mc.Nodes, mc.LocalRead, mc.RemoteRead, mc.BlockCopyPerWord))
+	return t, nil
+}

@@ -1,0 +1,107 @@
+// Package exp is the experiment harness: one named experiment per table
+// and figure in the paper's evaluation, each regenerating the
+// corresponding rows or speedup series on the simulated machine. The
+// harness is shared by cmd/platinum-bench, the repository's benchmark
+// suite, and EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick scales problem sizes down for CI; the full sizes are the
+	// paper's.
+	Quick bool
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure of the paper it regenerates
+	Run   func(Options) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment, sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// procSweep returns the processor counts for speedup curves.
+func procSweep(o Options) []int {
+	if o.Quick {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 3, 4, 6, 8, 10, 12, 14, 16}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// quick mode and sanity-checks the output tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a while even in quick mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("row %v has %d cells, header has %d", row, len(row), len(tab.Header))
+				}
+			}
+			var sb strings.Builder
+			if _, err := tab.WriteTo(&sb); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("rendered table missing id")
+			}
+			t.Logf("\n%s", sb.String())
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"app-suite", "basic-ops", "blockxfer-concurrency",
+		"colocate-options", "fig1", "fig5", "fig6", "freeze-anecdote",
+		"gauss-compare", "machine-generations", "page-size-sweep",
+		"policy-ablation", "repl-source", "scaling", "t1-sweep",
+		"table1", "table1-empirical",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Paper == "" {
+			t.Errorf("%s: empty paper reference", e.ID)
+		}
+	}
+	if _, ok := Find("fig1"); !ok {
+		t.Error("Find(fig1) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}

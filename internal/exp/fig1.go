@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"fmt"
+
+	"platinum/internal/apps"
+	"platinum/internal/baseline"
+	"platinum/internal/core"
+	"platinum/internal/kernel"
+	"platinum/internal/mach"
+	"platinum/internal/model"
+	"platinum/internal/sim"
+)
+
+// fig1 regenerates the Gaussian elimination speedup curve (Fig. 1);
+// gauss-compare regenerates the §5.1 16-processor comparison of the
+// three programming systems (PLATINUM 13.5 / Uniform System 10.6 /
+// SMP message passing 15.3); repl-source is the §5.1/§7 ablation on
+// pivot replication serialization.
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Paper: "Fig. 1 (Gaussian elimination speedup vs processors)",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "gauss-compare",
+		Paper: "§5.1 (PLATINUM vs Uniform System vs SMP at 16 procs)",
+		Run:   runGaussCompare,
+	})
+	register(Experiment{
+		ID:    "repl-source",
+		Paper: "§5.1/§7 (pivot replication serialization ablation)",
+		Run:   runReplSource,
+	})
+}
+
+// gaussSize picks the problem size: the paper's 800x800 (with 800-word
+// rows padded into the machine's 1024-word pages), or a scaled version
+// preserving the row/page density for quick runs.
+func gaussSize(o Options) (n, pageWords int) {
+	if o.Quick {
+		return 240, 256
+	}
+	return 800, 1024
+}
+
+func gaussKernelConfig(pageWords int) kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.Machine.PageWords = pageWords
+	return cfg
+}
+
+// runGaussAt runs one Gaussian elimination and returns elapsed time.
+func runGaussAt(o Options, procs int, variant string, srcSel core.SourceSelection) (sim.Time, error) {
+	n, pw := gaussSize(o)
+	cfg := apps.DefaultGaussConfig(n, procs)
+	kcfg := gaussKernelConfig(pw)
+	kcfg.Core.SourceSelection = srcSel
+	switch variant {
+	case "platinum":
+		pl, err := apps.NewPlatinumPlatform(kcfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := apps.RunGaussPlatinum(pl, cfg)
+		return r.Elapsed, err
+	case "uniform":
+		ucfg := baseline.UniformSystemConfig()
+		ucfg.Machine.PageWords = pw
+		pl, err := apps.NewPlatinumPlatform(ucfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := apps.RunGaussUniform(pl, cfg)
+		return r.Elapsed, err
+	case "smp":
+		pl, err := apps.NewPlatinumPlatform(kcfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := apps.RunGaussSMP(pl, cfg)
+		return r.Elapsed, err
+	}
+	return 0, fmt.Errorf("exp: unknown gauss variant %q", variant)
+}
+
+func runFig1(o Options) (*Table, error) {
+	n, pw := gaussSize(o)
+	t := &Table{
+		ID:     "fig1",
+		Title:  fmt.Sprintf("Gaussian elimination speedup, %dx%d (integer), %d-word pages", n, n, pw),
+		Header: []string{"procs", "elapsed", "speedup"},
+		Notes: []string{
+			"paper (800x800, 16 procs): speedup 13.5",
+		},
+	}
+	base, err := runGaussAt(o, 1, "platinum", core.SourceFirstCopy)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range procSweep(o) {
+		el := base
+		if p != 1 {
+			el, err = runGaussAt(o, p, "platinum", core.SourceFirstCopy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p), el.String(), f2(float64(base) / float64(el)),
+		})
+	}
+	return t, nil
+}
+
+func runGaussCompare(o Options) (*Table, error) {
+	n, _ := gaussSize(o)
+	t := &Table{
+		ID:     "gauss-compare",
+		Title:  fmt.Sprintf("Gaussian elimination %dx%d: three programming systems", n, n),
+		Header: []string{"system", "T(1)", "T(16)", "speedup", "T(16) vs PLATINUM"},
+		Notes: []string{
+			"paper: PLATINUM 13.5, Uniform System 10.6, SMP message passing 15.3",
+			"each system's speedup is relative to its own 1-processor time;",
+			"the last column compares absolute 16-processor times",
+		},
+	}
+	var platinum16 sim.Time
+	for _, v := range []struct{ id, label string }{
+		{"platinum", "PLATINUM coherent memory"},
+		{"uniform", "Uniform System (static scatter)"},
+		{"smp", "SMP message passing"},
+	} {
+		t1, err := runGaussAt(o, 1, v.id, core.SourceFirstCopy)
+		if err != nil {
+			return nil, fmt.Errorf("%s p=1: %w", v.id, err)
+		}
+		t16, err := runGaussAt(o, 16, v.id, core.SourceFirstCopy)
+		if err != nil {
+			return nil, fmt.Errorf("%s p=16: %w", v.id, err)
+		}
+		if v.id == "platinum" {
+			platinum16 = t16
+		}
+		t.Rows = append(t.Rows, []string{
+			v.label, t1.String(), t16.String(), f2(float64(t1) / float64(t16)),
+			f2(float64(t16) / float64(platinum16)),
+		})
+	}
+	return t, nil
+}
+
+func runReplSource(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "repl-source",
+		Title:  "pivot-row replication: first-copy source vs least-loaded source",
+		Header: []string{"source selection", "T(16)", "speedup vs first-copy"},
+		Notes: []string{
+			"§5.1 observes high fault-handler contention on pivot pages due to",
+			"serialized replication; sourcing from the least-loaded copy is the",
+			"§7-style what-if",
+		},
+	}
+	first, err := runGaussAt(o, 16, "platinum", core.SourceFirstCopy)
+	if err != nil {
+		return nil, err
+	}
+	least, err := runGaussAt(o, 16, "platinum", core.SourceLeastLoaded)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"first copy (default)", first.String(), "1.00"})
+	t.Rows = append(t.Rows, []string{"least loaded", least.String(), f2(float64(first) / float64(least))})
+	return t, nil
+}
+
+// simulatorParams builds §4.1 model parameters from the simulator's
+// default constants.
+func simulatorParams() model.Params {
+	mc := mach.DefaultConfig()
+	cc := core.DefaultConfig()
+	f := cc.FaultBase + cc.FrameAlloc + cc.ShootdownPost + cc.ShootdownSync +
+		cc.FrameFree + cc.MapInstall
+	return model.Params{
+		Tl: mc.LocalRead,
+		Tr: mc.RemoteRead,
+		Tb: mc.BlockCopyPerWord,
+		F:  f,
+	}
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+
+	"platinum/internal/apps"
+	"platinum/internal/kernel"
+	"platinum/internal/sim"
+	"platinum/internal/uma"
+)
+
+// fig5 regenerates the merge-sort comparison (PLATINUM on the NUMA
+// machine vs the same program on a Sequent-Symmetry-class UMA machine);
+// fig6 regenerates the backpropagation simulator's speedup curve.
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Paper: "Fig. 5 (merge sort speedup, PLATINUM vs Sequent Symmetry)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Paper: "Fig. 6 (recurrent backpropagation speedup)",
+		Run:   runFig6,
+	})
+}
+
+func mergeSortWords(o Options) int {
+	if o.Quick {
+		return 1 << 15
+	}
+	return 1 << 18 // 256K words = 1 MB, far beyond the Symmetry's 8 KB cache
+}
+
+func runMergeSortOn(platform string, words, procs int) (sim.Time, error) {
+	cfg := apps.DefaultMergeSortConfig(procs)
+	cfg.Words = words
+	var pl apps.Platform
+	var err error
+	switch platform {
+	case "platinum":
+		pl, err = apps.NewPlatinumPlatform(kernel.DefaultConfig())
+	case "uma":
+		pl, err = apps.NewUMAPlatform(uma.DefaultConfig())
+	default:
+		return 0, fmt.Errorf("exp: unknown platform %q", platform)
+	}
+	if err != nil {
+		return 0, err
+	}
+	r, err := apps.RunMergeSort(pl, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if !r.Sorted {
+		return 0, fmt.Errorf("exp: merge sort output unsorted on %s p=%d", platform, procs)
+	}
+	return r.Elapsed, nil
+}
+
+func runFig5(o Options) (*Table, error) {
+	words := mergeSortWords(o)
+	t := &Table{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("merge sort speedup, %d words", words),
+		Header: []string{"procs", "PLATINUM", "speedup", "Symmetry (UMA)", "speedup"},
+		Notes: []string{
+			"paper: the Butterfly under PLATINUM shows better speedup than the",
+			"Sequent Symmetry for the same problem size (8 KB write-through caches",
+			"hold nothing across merge phases; every store is a bus write)",
+		},
+	}
+	baseP, err := runMergeSortOn("platinum", words, 1)
+	if err != nil {
+		return nil, err
+	}
+	baseU, err := runMergeSortOn("uma", words, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Powers of two keep the merge tree balanced, matching the study.
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		ep, err := runMergeSortOn("platinum", words, p)
+		if err != nil {
+			return nil, err
+		}
+		eu, err := runMergeSortOn("uma", words, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p),
+			ep.String(), f2(float64(baseP) / float64(ep)),
+			eu.String(), f2(float64(baseU) / float64(eu)),
+		})
+	}
+	return t, nil
+}
+
+func runFig6(o Options) (*Table, error) {
+	epochs := 12
+	if o.Quick {
+		epochs = 6
+	}
+	t := &Table{
+		ID:     "fig6",
+		Title:  "recurrent backpropagation simulator speedup (40 units, 16 patterns)",
+		Header: []string{"procs", "elapsed", "speedup", "per-proc contribution"},
+		Notes: []string{
+			"paper: linear over the measured range, but extensive remote access",
+			"limits each incremental processor to about 1/2 of an all-local one;",
+			"the fine-grain shared pages end up frozen",
+		},
+	}
+	run := func(p int) (sim.Time, error) {
+		pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		cfg := apps.DefaultBackpropConfig(p)
+		cfg.Epochs = epochs
+		r, err := apps.RunBackprop(pl, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if !(r.FinalSSE < r.InitialSSE) {
+			return 0, fmt.Errorf("exp: backprop did not learn at p=%d (SSE %f -> %f)",
+				p, r.InitialSSE, r.FinalSSE)
+		}
+		return r.Elapsed, nil
+	}
+	base, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	procs := []int{1, 2, 4, 6, 8}
+	if o.Quick {
+		procs = []int{1, 2, 4, 8}
+	}
+	for _, p := range procs {
+		el := base
+		if p != 1 {
+			el, err = run(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sp := float64(base) / float64(el)
+		t.Rows = append(t.Rows, []string{
+			itoa(p), el.String(), f2(sp), f2(sp / float64(p)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"platinum/internal/apps"
+	"platinum/internal/core"
+	"platinum/internal/kernel"
+	"platinum/internal/mach"
+	"platinum/internal/model"
+	"platinum/internal/sim"
+)
+
+// sim1 converts a float nanosecond count back to sim.Time.
+func sim1(ns float64) sim.Time { return sim.Time(int64(ns)) }
+
+// machine-generations compares the first-generation Butterfly against
+// the Butterfly Plus through the lens of §4.1: the ratio T_b/(T_r−T_l)
+// "puts a lower bound on the minimum reference density for which
+// migration makes sense", and the Plus's fast block transfer is what
+// makes page migration economical at all. The experiment evaluates the
+// model's break-even constants for both machines and runs Gaussian
+// elimination on both.
+
+func init() {
+	register(Experiment{
+		ID:    "machine-generations",
+		Paper: "§4.1/§7 (why the block-transfer ratio decides everything)",
+		Run:   runGenerations,
+	})
+}
+
+// generationParams derives §4.1 model parameters from a machine config,
+// using the same fixed-overhead decomposition as the simulator.
+func generationParams(mc mach.Config, scale float64) model.Params {
+	cc := core.DefaultConfig()
+	f := cc.FaultBase + cc.FrameAlloc + cc.ShootdownPost + cc.ShootdownSync +
+		cc.FrameFree + cc.MapInstall
+	return model.Params{
+		Tl: mc.LocalRead,
+		Tr: mc.RemoteRead,
+		Tb: mc.BlockCopyPerWord,
+		F:  sim1(float64(f) * scale),
+	}
+}
+
+func runGenerations(o Options) (*Table, error) {
+	n, pw := gaussSize(o)
+	t := &Table{
+		ID:    "machine-generations",
+		Title: "Butterfly 1 vs Butterfly Plus: migration economics and gauss",
+		Header: []string{"machine", "Tb/(Tr-Tl)", "S_min(rho=1,g=1)",
+			"gauss T(16)", "gauss speedup"},
+		Notes: []string{
+			"§4.1: the block-transfer-to-latency-saving ratio bounds the",
+			"density below which migration can never pay; the Plus's fast",
+			"transfer engine (and 15:1 remote:local ratio) is what makes",
+			"page migration economical — the first generation's ~5:1 ratio",
+			"left far less to win",
+		},
+	}
+	gens := []struct {
+		label string
+		mc    mach.Config
+		// Kernel fixed overheads scale with processor speed; the first
+		// generation's 68000-class processors were ~2x slower.
+		overheadScale float64
+	}{
+		{"Butterfly 1", mach.Butterfly1Config(), 2.0},
+		{"Butterfly Plus", mach.DefaultConfig(), 1.0},
+	}
+	for _, g := range gens {
+		params := generationParams(g.mc, g.overheadScale)
+		smin1 := params.SMin(1.0, 1.0)
+		sminStr := "never"
+		if !math.IsInf(smin1, 1) {
+			sminStr = fmt.Sprintf("%.0f", smin1)
+		}
+
+		mc := g.mc
+		mc.PageWords = pw
+		kcfg := kernel.DefaultConfig()
+		kcfg.Machine = mc
+		scaleOverheads(&kcfg.Core, g.overheadScale)
+		run := func(p int) (apps.GaussResult, error) {
+			pl, err := apps.NewPlatinumPlatform(kcfg)
+			if err != nil {
+				return apps.GaussResult{}, err
+			}
+			cfg := apps.DefaultGaussConfig(n, p)
+			// Slower processors: scale the arithmetic too.
+			cfg.OpCost = sim1(float64(cfg.OpCost) * g.overheadScale)
+			return apps.RunGaussPlatinum(pl, cfg)
+		}
+		r1, err := run(1)
+		if err != nil {
+			return nil, fmt.Errorf("%s p=1: %w", g.label, err)
+		}
+		r16, err := run(16)
+		if err != nil {
+			return nil, fmt.Errorf("%s p=16: %w", g.label, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			g.label,
+			fmt.Sprintf("%.3f", params.Coefficient()),
+			sminStr,
+			r16.Elapsed.String(),
+			f2(float64(r1.Elapsed) / float64(r16.Elapsed)),
+		})
+	}
+	return t, nil
+}
+
+// scaleOverheads multiplies the kernel's fixed fault-handling costs.
+func scaleOverheads(cc *core.Config, scale float64) {
+	cc.FaultBase = sim1(float64(cc.FaultBase) * scale)
+	cc.MapInstall = sim1(float64(cc.MapInstall) * scale)
+	cc.FrameAlloc = sim1(float64(cc.FrameAlloc) * scale)
+	cc.FrameFree = sim1(float64(cc.FrameFree) * scale)
+	cc.ShootdownPost = sim1(float64(cc.ShootdownPost) * scale)
+	cc.ShootdownSync = sim1(float64(cc.ShootdownSync) * scale)
+	cc.KernelRemotePenalty = sim1(float64(cc.KernelRemotePenalty) * scale)
+}

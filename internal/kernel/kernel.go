@@ -1,0 +1,212 @@
+// Package kernel implements the PLATINUM programming model (§1.1) on top
+// of the coherent memory system: kernel-scheduled threads bound to
+// processors (with explicit migration), address spaces, page-aligned
+// allocation zones, ports (globally named message queues), and the
+// memory access operations simulated programs use.
+//
+// All abstractions live in one flat global name space, and all primary
+// memory appears as a single fast shared memory: programs address it
+// with word-granular virtual addresses and never see where pages
+// physically live. The kernel charges every operation's virtual-time
+// cost to the calling thread, so application-level timing (speedups,
+// contention) emerges from the memory system's behaviour.
+package kernel
+
+import (
+	"fmt"
+
+	"platinum/internal/core"
+	"platinum/internal/mach"
+	"platinum/internal/sim"
+	"platinum/internal/vm"
+)
+
+// Config configures a simulated machine and kernel.
+type Config struct {
+	Machine mach.Config
+	Core    core.Config
+
+	// SpinPoll is the initial interval between polls in SpinWait;
+	// unsuccessful polls back off exponentially up to SpinPollMax.
+	SpinPoll    sim.Time
+	SpinPollMax sim.Time
+
+	// PortOverhead is the fixed kernel cost of one send or receive;
+	// PortPerWord is the per-word message copy cost. Together they model
+	// the Butterfly's structured-message-passing cost.
+	PortOverhead sim.Time
+	PortPerWord  sim.Time
+
+	// MigrateOverhead is the fixed cost of moving a thread between
+	// processors, on top of the block transfer of its kernel stack
+	// (§2.2: the kernel stack is explicitly moved with the thread).
+	MigrateOverhead sim.Time
+
+	// DefrostProc is the processor the defrost daemon runs on.
+	DefrostProc int
+}
+
+// DefaultConfig returns the paper's machine with kernel costs in
+// Butterfly-era proportions.
+func DefaultConfig() Config {
+	return Config{
+		Machine:         mach.DefaultConfig(),
+		Core:            core.DefaultConfig(),
+		SpinPoll:        5 * sim.Microsecond,
+		SpinPollMax:     160 * sim.Microsecond,
+		PortOverhead:    150 * sim.Microsecond,
+		PortPerWord:     550 * sim.Nanosecond,
+		MigrateOverhead: 200 * sim.Microsecond,
+		DefrostProc:     0,
+	}
+}
+
+// Kernel is one booted simulated machine.
+type Kernel struct {
+	cfg     Config
+	engine  *sim.Engine
+	machine *mach.Machine
+	sys     *core.System
+	mgr     *vm.Manager
+	ports   map[string]*Port
+}
+
+// Boot builds the machine, the coherent memory system, the virtual
+// memory manager, and starts the defrost daemon.
+func Boot(cfg Config) (*Kernel, error) {
+	e := sim.NewEngine()
+	m, err := mach.New(e, cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(m, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SpinPoll <= 0 {
+		cfg.SpinPoll = 5 * sim.Microsecond
+	}
+	if cfg.SpinPollMax < cfg.SpinPoll {
+		cfg.SpinPollMax = cfg.SpinPoll
+	}
+	if cfg.DefrostProc < 0 || cfg.DefrostProc >= m.Nodes() {
+		return nil, fmt.Errorf("kernel: DefrostProc %d out of range", cfg.DefrostProc)
+	}
+	k := &Kernel{
+		cfg:     cfg,
+		engine:  e,
+		machine: m,
+		sys:     sys,
+		mgr:     vm.NewManager(sys),
+		ports:   make(map[string]*Port),
+	}
+	sys.StartDefrostDaemon(cfg.DefrostProc)
+	return k, nil
+}
+
+// Run executes the simulation until every thread finishes.
+func (k *Kernel) Run() error { return k.engine.Run() }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.engine }
+
+// Machine returns the simulated hardware.
+func (k *Kernel) Machine() *mach.Machine { return k.machine }
+
+// System returns the coherent memory system.
+func (k *Kernel) System() *core.System { return k.sys }
+
+// Manager returns the virtual memory manager.
+func (k *Kernel) Manager() *vm.Manager { return k.mgr }
+
+// Nodes returns the machine's processor count.
+func (k *Kernel) Nodes() int { return k.machine.Nodes() }
+
+// PageWords returns the page size in 32-bit words.
+func (k *Kernel) PageWords() int { return k.machine.Config().PageWords }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.engine.Now() }
+
+// Report returns the coherent memory system's post-mortem report.
+func (k *Kernel) Report() core.Report { return k.sys.Report() }
+
+// Space is an address space handle with allocation helpers.
+type Space struct {
+	k  *Kernel
+	vs *vm.Space
+}
+
+// NewSpace creates an empty address space.
+func (k *Kernel) NewSpace() *Space {
+	return &Space{k: k, vs: k.mgr.NewSpace()}
+}
+
+// VM exposes the underlying vm.Space.
+func (sp *Space) VM() *vm.Space { return sp.vs }
+
+// AllocPages creates a fresh memory object of npages pages, maps it into
+// the space with the given rights, and returns the word-granular virtual
+// address of its first word. This is the paper's page-aligned allocation
+// zone library (§6): data with different access patterns goes in
+// different zones, hence different pages.
+func (sp *Space) AllocPages(label string, npages int, rights core.Rights) (int64, error) {
+	obj, err := sp.k.mgr.NewObject(label, npages)
+	if err != nil {
+		return 0, err
+	}
+	vpn, err := sp.vs.MapAnywhere(obj, rights)
+	if err != nil {
+		return 0, err
+	}
+	return vpn * int64(sp.k.PageWords()), nil
+}
+
+// AllocWords allocates at least nwords words in a fresh zone and returns
+// its base virtual address. The zone is page-aligned and padded to whole
+// pages.
+func (sp *Space) AllocWords(label string, nwords int, rights core.Rights) (int64, error) {
+	pw := sp.k.PageWords()
+	npages := (nwords + pw - 1) / pw
+	if npages == 0 {
+		npages = 1
+	}
+	return sp.AllocPages(label, npages, rights)
+}
+
+// MapObject binds an existing (possibly shared) object into this space
+// and returns its base virtual address here.
+func (sp *Space) MapObject(obj *vm.Object, rights core.Rights) (int64, error) {
+	vpn, err := sp.vs.MapAnywhere(obj, rights)
+	if err != nil {
+		return 0, err
+	}
+	return vpn * int64(sp.k.PageWords()), nil
+}
+
+// PlaceAt statically places the page containing virtual address va on
+// the given memory module. Setup-time only (costs nothing); the page
+// must not have been touched yet. This models deliberate data placement
+// such as the Uniform System's scatter allocation.
+func (sp *Space) PlaceAt(va int64, module int) error {
+	vpn := va / int64(sp.k.PageWords())
+	e := sp.vs.Cmap().Lookup(vpn)
+	if e == nil {
+		return fmt.Errorf("kernel: PlaceAt on unmapped va %d", va)
+	}
+	return sp.k.sys.MaterializeAt(e.Cpage(), module)
+}
+
+// Unmap removes the zone whose base virtual address is va, invalidating
+// all translations (costs charged to t). The zone must have been mapped
+// starting exactly at va.
+func (sp *Space) Unmap(t *Thread, va int64) error {
+	return sp.vs.Unmap(t.st, t.proc, va/int64(sp.k.PageWords()))
+}
+
+// EnableTrace starts recording coherent memory protocol events (§9's
+// instrumentation interface); see core.Event.
+func (k *Kernel) EnableTrace(capacity int) { k.sys.EnableTrace(capacity) }
+
+// Trace returns recorded protocol events and the overflow count.
+func (k *Kernel) Trace() ([]core.Event, int64) { return k.sys.Trace() }

@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"fmt"
+
+	"platinum/internal/core"
+	"platinum/internal/sim"
+)
+
+// Synchronization library (§6, §9: "we are rapidly accumulating
+// run-time libraries ... to further ease the programming process").
+// All primitives are built on simulated shared memory, so their costs —
+// and their interaction with the coherency protocol, such as lock pages
+// freezing under contention — are real, not scripted.
+
+// AtomicCAS performs an atomic compare-and-swap on the word at va,
+// returning the value observed (the swap succeeded iff the return
+// equals old). Costs one read plus one write cycle at the page's copy,
+// like AtomicAdd.
+func (t *Thread) AtomicCAS(va int64, old, new uint32) uint32 {
+	_, off := t.page(va)
+	vpn := va / int64(t.k.PageWords())
+	var observed uint32
+	c, err := t.k.sys.Resolve(t.st, t.proc, t.space.vs.Cmap(), vpn, true,
+		func(w []uint32) {
+			observed = w[off]
+			if observed == old {
+				w[off] = new
+			}
+		})
+	if err != nil {
+		panic(fmt.Sprintf("kernel: fatal memory trap: %v", err))
+	}
+	t.k.machine.Access(t.st, t.proc, c.Module, 1, false)
+	t.k.machine.Access(t.st, t.proc, c.Module, 1, true)
+	return observed
+}
+
+// SpinLock is a test-and-test-and-set lock on one shared word. Allocate
+// it in its own zone (§6: never co-locate a lock with data it does not
+// protect — the §4.2 anecdote is about exactly that mistake).
+type SpinLock struct {
+	va int64
+}
+
+// NewSpinLock allocates a lock in its own page-aligned zone.
+func (sp *Space) NewSpinLock(label string) (*SpinLock, error) {
+	va, err := sp.AllocWords(label, 1, core.Read|core.Write)
+	if err != nil {
+		return nil, err
+	}
+	return &SpinLock{va: va}, nil
+}
+
+// Acquire spins until the lock is taken. The test-and-test-and-set
+// shape polls with reads (which the protocol may satisfy from a local
+// replica or a frozen remote mapping) and attempts the atomic swap only
+// when the lock looks free.
+func (l *SpinLock) Acquire(t *Thread) {
+	for {
+		t.SpinWait(l.va, func(v uint32) bool { return v == 0 })
+		if t.AtomicCAS(l.va, 0, 1) == 0 {
+			return
+		}
+	}
+}
+
+// Release frees the lock. Only the holder may call it.
+func (l *SpinLock) Release(t *Thread) {
+	if t.AtomicCAS(l.va, 1, 0) != 1 {
+		panic("kernel: Release of a lock not held")
+	}
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed group size.
+// Each Wait blocks (by spinning on an event count) until all members
+// arrive; the barrier then resets itself for the next use.
+type Barrier struct {
+	va      int64 // [0] arrival count, [1] generation
+	members uint32
+}
+
+// NewBarrier allocates a barrier for n members in its own zone.
+func (sp *Space) NewBarrier(label string, n int) (*Barrier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kernel: barrier of %d members", n)
+	}
+	va, err := sp.AllocWords(label, 2, core.Read|core.Write)
+	if err != nil {
+		return nil, err
+	}
+	return &Barrier{va: va, members: uint32(n)}, nil
+}
+
+// Wait blocks until all members have called Wait for this generation.
+func (b *Barrier) Wait(t *Thread) {
+	gen := t.Read(b.va + 1)
+	if t.AtomicAdd(b.va, 1) == b.members {
+		// Last arrival: reset the count and advance the generation.
+		t.Write(b.va, 0)
+		t.Write(b.va+1, gen+1)
+		return
+	}
+	t.WaitAtLeast(b.va+1, gen+1)
+}
+
+// EventCount is the Butterfly's preferred synchronization object: a
+// monotone counter that waiters read and advancers bump (§5.1's pivot
+// announcement is an array of these).
+type EventCount struct {
+	va int64
+}
+
+// NewEventCount allocates an event count in its own zone.
+func (sp *Space) NewEventCount(label string) (*EventCount, error) {
+	va, err := sp.AllocWords(label, 1, core.Read|core.Write)
+	if err != nil {
+		return nil, err
+	}
+	return &EventCount{va: va}, nil
+}
+
+// Advance increments the count by one and returns the new value.
+func (e *EventCount) Advance(t *Thread) uint32 { return t.AtomicAdd(e.va, 1) }
+
+// Await blocks until the count reaches at least target.
+func (e *EventCount) Await(t *Thread, target uint32) uint32 {
+	return t.WaitAtLeast(e.va, target)
+}
+
+// Read returns the current count.
+func (e *EventCount) Read(t *Thread) uint32 { return t.Read(e.va) }
+
+// Sleep advances the thread's virtual clock by d without touching
+// memory (a convenience re-export of Compute with clearer intent for
+// timed waits).
+func (t *Thread) Sleep(d sim.Time) { t.st.Advance(d) }

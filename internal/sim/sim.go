@@ -1,0 +1,215 @@
+// Package sim implements a deterministic, sequential discrete-event
+// simulation engine used as the time base for the simulated NUMA
+// multiprocessor.
+//
+// The engine multiplexes any number of simulated threads, each with its
+// own virtual clock. Threads are backed by goroutines, but at most one
+// simulated thread executes at a time: the engine always resumes the
+// runnable thread with the globally minimum (clock, id) pair, so every
+// run is bit-for-bit reproducible regardless of the Go scheduler.
+//
+// A simulated thread consumes virtual time by calling Advance, blocks by
+// calling Block, and is made runnable again when some other thread calls
+// Unblock on it. Shared simulation state (memory modules, page tables,
+// protocol state) needs no locking: it is only ever touched by the single
+// currently-executing thread.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in (or duration of) virtual time, in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time with an adaptive unit, e.g. "1.340ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// ErrDeadlock is returned by Run when every remaining non-daemon thread
+// is blocked and no thread can ever unblock them.
+var ErrDeadlock = errors.New("sim: deadlock: all non-daemon threads blocked")
+
+// errStopped is panicked inside a thread goroutine to unwind it when the
+// engine shuts down; it is recovered by the thread trampoline.
+type errStopped struct{}
+
+// Engine is a deterministic discrete-event scheduler for simulated
+// threads. The zero value is not usable; call NewEngine.
+type Engine struct {
+	ready    threadHeap
+	threads  map[int]*Thread
+	nextID   int
+	now      Time
+	running  *Thread
+	nlive    int // non-daemon threads not yet finished
+	readyND  int // non-daemon threads currently in the ready heap
+	stopping bool
+	fail     error // first thread-body panic, reported by Run
+}
+
+// ThreadPanicError reports a simulated thread whose body panicked — for
+// kernel programs, the equivalent of the machine halting on a fatal
+// trap. Run returns it and unwinds the remaining threads.
+type ThreadPanicError struct {
+	Thread string
+	Value  any
+}
+
+func (e *ThreadPanicError) Error() string {
+	return fmt.Sprintf("sim: thread %q panicked: %v", e.Thread, e.Value)
+}
+
+// pushReady enqueues t for dispatch.
+func (e *Engine) pushReady(t *Thread) {
+	e.ready.push(t)
+	if !t.daemon {
+		e.readyND++
+	}
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{threads: make(map[int]*Thread)}
+}
+
+// Now reports the engine's current virtual time: the clock of the most
+// recently dispatched thread.
+func (e *Engine) Now() Time { return e.now }
+
+// Spawn creates a new simulated thread whose body is fn, with its clock
+// initialized to the current virtual time. The thread does not run until
+// Run dispatches it. Spawn may be called before Run or from inside a
+// running thread.
+func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
+	t := &Thread{
+		engine: e,
+		id:     e.nextID,
+		name:   name,
+		clock:  e.now,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		state:  stateReady,
+	}
+	e.nextID++
+	e.threads[t.id] = t
+	e.nlive++
+	e.pushReady(t)
+
+	go func() {
+		<-t.resume // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errStopped); !ok {
+					// A real panic from the thread body: the simulated
+					// machine halts. Record it for Run and unwind.
+					if e.fail == nil {
+						e.fail = &ThreadPanicError{Thread: t.name, Value: r}
+					}
+				}
+			}
+			t.state = stateDone
+			if !t.daemon {
+				e.nlive--
+			}
+			t.parked <- struct{}{}
+		}()
+		if e.stopping {
+			panic(errStopped{})
+		}
+		t.state = stateRunning
+		fn(t)
+	}()
+	return t
+}
+
+// step dispatches thread t and waits for it to yield, block, or finish.
+func (e *Engine) step(t *Thread) {
+	e.running = t
+	t.state = stateRunning
+	t.resume <- struct{}{}
+	<-t.parked
+	e.running = nil
+}
+
+// Run executes the simulation until every non-daemon thread has finished.
+// It returns ErrDeadlock if non-daemon threads remain but all are blocked.
+// Daemon threads (see Thread.SetDaemon) still runnable at shutdown are
+// unwound cleanly.
+func (e *Engine) Run() error {
+	defer e.shutdown()
+	for e.nlive > 0 {
+		if e.fail != nil {
+			return e.fail
+		}
+		// If every live non-daemon thread is blocked, daemons in this
+		// system never unblock application threads, so this is a
+		// deadlock even while daemons remain runnable.
+		if e.readyND == 0 {
+			return ErrDeadlock
+		}
+		t := e.ready.pop()
+		if t == nil {
+			return ErrDeadlock
+		}
+		if !t.daemon {
+			e.readyND--
+		}
+		if t.state != stateReady {
+			continue // stale heap entry
+		}
+		if t.clock > e.now {
+			e.now = t.clock
+		}
+		e.step(t)
+	}
+	return e.fail
+}
+
+// shutdown unwinds every unfinished thread goroutine.
+func (e *Engine) shutdown() {
+	e.stopping = true
+	// Deterministic order for unwinding.
+	ids := make([]int, 0, len(e.threads))
+	for id, t := range e.threads {
+		if t.state != stateDone {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := e.threads[id]
+		if t.state == stateDone {
+			continue
+		}
+		// Resuming a stopping engine makes the thread's next yield point
+		// panic with errStopped, unwinding it.
+		e.step(t)
+	}
+}
+
+// Live reports the number of unfinished non-daemon threads.
+func (e *Engine) Live() int { return e.nlive }

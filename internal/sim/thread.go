@@ -1,0 +1,122 @@
+package sim
+
+import "fmt"
+
+type threadState uint8
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Thread is a simulated thread of control with its own virtual clock.
+// All methods that consume or yield virtual time (Advance, Yield, Block)
+// must be called only from within the thread's own body function.
+type Thread struct {
+	engine *Engine
+	id     int
+	name   string
+	clock  Time
+	daemon bool
+	state  threadState
+
+	resume chan struct{} // engine -> thread: run
+	parked chan struct{} // thread -> engine: yielded/blocked/done
+
+	heapIdx int // index in the ready heap, -1 if absent
+}
+
+// ID returns the thread's unique id, assigned in spawn order.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the name given at Spawn.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the thread's virtual clock.
+func (t *Thread) Now() Time { return t.clock }
+
+// Engine returns the engine the thread belongs to.
+func (t *Thread) Engine() *Engine { return t.engine }
+
+// SetDaemon marks the thread as a daemon. The engine's Run returns once
+// all non-daemon threads finish, even if daemons are still runnable.
+// Must be called before Run dispatches the thread for the first time.
+func (t *Thread) SetDaemon(d bool) {
+	if t.daemon == d {
+		return
+	}
+	t.daemon = d
+	if d {
+		t.engine.nlive--
+	} else {
+		t.engine.nlive++
+	}
+	if t.heapIdx >= 0 || t.state == stateReady {
+		if d {
+			t.engine.readyND--
+		} else {
+			t.engine.readyND++
+		}
+	}
+}
+
+// yield parks the thread and waits to be dispatched again.
+func (t *Thread) yield() {
+	t.parked <- struct{}{}
+	<-t.resume
+	if t.engine.stopping {
+		panic(errStopped{})
+	}
+	t.state = stateRunning
+}
+
+// Advance consumes d of virtual time and yields to the scheduler, so any
+// thread whose clock is now smaller runs first. d must be non-negative.
+func (t *Thread) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Advance(%d) by thread %q", d, t.name))
+	}
+	t.clock += d
+	t.state = stateReady
+	t.engine.pushReady(t)
+	t.yield()
+}
+
+// AdvanceTo advances the thread's clock to at least instant.
+func (t *Thread) AdvanceTo(instant Time) {
+	if instant > t.clock {
+		t.Advance(instant - t.clock)
+	} else {
+		t.Yield()
+	}
+}
+
+// Yield lets equal- or lower-clock threads run without consuming time.
+func (t *Thread) Yield() { t.Advance(0) }
+
+// Block parks the thread until another thread calls Unblock on it.
+func (t *Thread) Block() {
+	t.state = stateBlocked
+	t.yield()
+}
+
+// Unblock makes a blocked thread runnable again with its clock advanced
+// to at least wake (a blocked thread cannot resume before the event that
+// woke it). Unblocking a thread that is not blocked is a no-op and
+// reports false.
+func (t *Thread) Unblock(wake Time) bool {
+	if t.state != stateBlocked {
+		return false
+	}
+	if wake > t.clock {
+		t.clock = wake
+	}
+	t.state = stateReady
+	t.engine.pushReady(t)
+	return true
+}
+
+// Done reports whether the thread's body has returned.
+func (t *Thread) Done() bool { return t.state == stateDone }

@@ -1,0 +1,199 @@
+// Package trace analyzes the protocol event streams recorded by the
+// coherent memory system (core.EnableTrace) — the analysis half of §9's
+// "instrumentation for performance monitoring, analysis, and
+// visualization". It turns raw events into the shapes a programmer
+// tuning a PLATINUM application needs: per-page histories, ping-pong
+// detection (the pattern the freeze policy exists to stop), freeze/thaw
+// cycles (pages the defrost daemon keeps rescuing), and time-bucketed
+// activity profiles (phase structure).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"platinum/internal/core"
+	"platinum/internal/sim"
+)
+
+// Summary aggregates an event stream by kind.
+type Summary struct {
+	Total   int
+	Dropped int64
+	ByKind  map[core.EventKind]int
+}
+
+// Summarize counts events by kind.
+func Summarize(events []core.Event, dropped int64) Summary {
+	s := Summary{Total: len(events), Dropped: dropped, ByKind: make(map[core.EventKind]int)}
+	for _, ev := range events {
+		s.ByKind[ev.Kind]++
+	}
+	return s
+}
+
+// WriteTo prints the summary.
+func (s Summary) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	k, err := fmt.Fprintf(w, "protocol trace: %d events (%d dropped)\n", s.Total, s.Dropped)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for kind := core.EvReadFault; kind <= core.EvThaw; kind++ {
+		if c := s.ByKind[kind]; c > 0 {
+			k, err := fmt.Fprintf(w, "  %-12v %d\n", kind, c)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// PageHistory is the event history of one coherent page.
+type PageHistory struct {
+	Cpage        int64
+	Events       []core.Event
+	Faults       int // read + write faults
+	Moves        int // replications + migrations
+	FreezeCycles int // freeze → thaw transitions completed
+	PingPongRuns int // maximal runs of >= MinPingPong alternating-processor moves
+}
+
+// MinPingPong is the run length of alternating-processor data movements
+// that counts as ping-ponging.
+const MinPingPong = 3
+
+// ByPage groups events into per-page histories, sorted by fault count
+// descending (busiest first).
+func ByPage(events []core.Event) []*PageHistory {
+	byID := make(map[int64]*PageHistory)
+	for _, ev := range events {
+		h := byID[ev.Cpage]
+		if h == nil {
+			h = &PageHistory{Cpage: ev.Cpage}
+			byID[ev.Cpage] = h
+		}
+		h.Events = append(h.Events, ev)
+		switch ev.Kind {
+		case core.EvReadFault, core.EvWriteFault:
+			h.Faults++
+		case core.EvReplication, core.EvMigration:
+			h.Moves++
+		}
+	}
+	out := make([]*PageHistory, 0, len(byID))
+	for _, h := range byID {
+		h.FreezeCycles = freezeCycles(h.Events)
+		h.PingPongRuns = pingPongRuns(h.Events)
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Faults != out[j].Faults {
+			return out[i].Faults > out[j].Faults
+		}
+		return out[i].Cpage < out[j].Cpage
+	})
+	return out
+}
+
+// freezeCycles counts completed freeze→thaw transitions.
+func freezeCycles(events []core.Event) int {
+	cycles := 0
+	frozen := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EvFreeze:
+			frozen = true
+		case core.EvThaw:
+			if frozen {
+				cycles++
+				frozen = false
+			}
+		}
+	}
+	return cycles
+}
+
+// pingPongRuns counts maximal runs of at least MinPingPong consecutive
+// migrations by strictly alternating processors — the write-sharing
+// interference signature the freeze policy detects via invalidation
+// history. Replications are excluded: read fan-out to many processors
+// is healthy caching, not interference.
+func pingPongRuns(events []core.Event) int {
+	runs := 0
+	runLen := 0
+	lastProc := -1
+	flush := func() {
+		if runLen >= MinPingPong {
+			runs++
+		}
+		runLen = 0
+		lastProc = -1
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EvMigration:
+			if ev.Proc != lastProc {
+				runLen++
+				lastProc = ev.Proc
+			} else {
+				flush()
+				runLen = 1
+				lastProc = ev.Proc
+			}
+		case core.EvFreeze, core.EvThaw:
+			flush()
+		}
+	}
+	flush()
+	return runs
+}
+
+// Bucket is protocol activity within one time slice.
+type Bucket struct {
+	Start  sim.Time
+	ByKind map[core.EventKind]int
+}
+
+// Buckets slices the event stream into fixed-width time buckets,
+// exposing the phase structure of a run (e.g. a startup burst of
+// replications followed by steady-state silence). Events are bucketed
+// by timestamp, which need not be globally sorted.
+func Buckets(events []core.Event, width sim.Time) []Bucket {
+	if width <= 0 || len(events) == 0 {
+		return nil
+	}
+	var max sim.Time
+	for _, ev := range events {
+		if ev.Time > max {
+			max = ev.Time
+		}
+	}
+	n := int(max/width) + 1
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Start = sim.Time(i) * width
+		out[i].ByKind = make(map[core.EventKind]int)
+	}
+	for _, ev := range events {
+		out[ev.Time/width].ByKind[ev.Kind]++
+	}
+	return out
+}
+
+// HottestPages returns the ids of the k busiest pages by fault count.
+func HottestPages(events []core.Event, k int) []int64 {
+	pages := ByPage(events)
+	if k > len(pages) {
+		k = len(pages)
+	}
+	out := make([]int64, 0, k)
+	for _, h := range pages[:k] {
+		out = append(out, h.Cpage)
+	}
+	return out
+}
