@@ -166,21 +166,35 @@ func parseDur(s string) float64 {
 // --- simulator micro-benchmarks ---
 
 // BenchmarkEngineStep measures the discrete-event engine's dispatch
-// throughput (one Advance per op).
+// throughput (one Advance per op) across its scheduling paths:
+//
+//   - fastpath-eligible: one thread always strictly minimum, so every
+//     Advance returns without any goroutine switch;
+//   - handoff: eight threads in lockstep, every Advance a fused
+//     replace-top handoff to the next thread;
+//   - nofastpath: the same lockstep workload with the fast path
+//     disabled (the A/B determinism configuration).
 func BenchmarkEngineStep(b *testing.B) {
-	e := sim.NewEngine()
-	for t := 0; t < 8; t++ {
-		n := b.N / 8
-		e.Spawn("w", func(th *sim.Thread) {
-			for i := 0; i < n; i++ {
-				th.Advance(100)
-			}
-		})
+	run := func(b *testing.B, threads int, fastPath bool) {
+		prev := sim.SetDefaultFastPath(fastPath)
+		defer sim.SetDefaultFastPath(prev)
+		e := sim.NewEngine()
+		for t := 0; t < threads; t++ {
+			n := b.N / threads
+			e.Spawn("w", func(th *sim.Thread) {
+				for i := 0; i < n; i++ {
+					th.Advance(100)
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
-		b.Fatal(err)
-	}
+	b.Run("fastpath-eligible", func(b *testing.B) { run(b, 1, true) })
+	b.Run("handoff", func(b *testing.B) { run(b, 8, true) })
+	b.Run("nofastpath", func(b *testing.B) { run(b, 8, false) })
 }
 
 // BenchmarkTouchATCHit measures the coherent memory fast path.

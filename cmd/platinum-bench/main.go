@@ -3,27 +3,45 @@
 //
 // Usage:
 //
-//	platinum-bench [-quick] [-exp id[,id...]] [-list]
+//	platinum-bench [-quick] [-exp id[,id...]] [-j N] [-json] [-list]
 //
 // With no -exp it runs every experiment. -quick scales problem sizes
-// down (the full sizes are the paper's). -list prints the experiment
+// down (the full sizes are the paper's). -j bounds how many independent
+// simulation runs execute concurrently (default: all CPUs); the tables
+// are identical at any setting. -json emits one JSON object per
+// experiment instead of aligned tables. -list prints the experiment
 // index and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"platinum/internal/exp"
 )
 
+// jsonResult is the machine-readable form of one experiment's table.
+type jsonResult struct {
+	ID          string     `json:"id"`
+	Paper       string     `json:"paper"`
+	Title       string     `json:"title"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+	WallSeconds float64    `json:"wall_seconds"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run scaled-down problem sizes")
 	ids := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs per experiment")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment")
 	flag.Parse()
 
 	if *list {
@@ -47,7 +65,8 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Quick: *quick}
+	opts := exp.Options{Quick: *quick, Parallelism: *jobs}
+	enc := json.NewEncoder(os.Stdout)
 	for _, e := range todo {
 		start := time.Now()
 		tab, err := e.Run(opts)
@@ -55,10 +74,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "platinum-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
+		if *jsonOut {
+			res := jsonResult{
+				ID: tab.ID, Paper: e.Paper, Title: tab.Title,
+				Header: tab.Header, Rows: tab.Rows, Notes: tab.Notes,
+				WallSeconds: wall,
+			}
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if _, err := tab.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s wall time: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s wall time: %.1fs)\n\n", e.ID, wall)
 	}
 }

@@ -14,6 +14,14 @@ type atc struct {
 	ring    []atcKey // FIFO of resident keys
 	head    int
 
+	// Most-recently-hit entry, checked before the map. Pure host-side
+	// memoization of a resident entry: it never holds a translation the
+	// map does not, so hit/miss accounting — and therefore simulated
+	// timing — is unchanged.
+	mruKey atcKey
+	mruVal pmapEntry
+	mruOK  bool
+
 	// Statistics.
 	Hits   int64
 	Misses int64
@@ -34,9 +42,15 @@ func newATC(capacity int) *atc {
 
 // lookup returns the cached translation for (cmap, vpn), if resident.
 func (a *atc) lookup(cmap int, vpn int64) (pmapEntry, bool) {
-	pe, ok := a.entries[atcKey{cmap, vpn}]
+	k := atcKey{cmap, vpn}
+	if a.mruOK && a.mruKey == k {
+		a.Hits++
+		return a.mruVal, true
+	}
+	pe, ok := a.entries[k]
 	if ok {
 		a.Hits++
+		a.mruKey, a.mruVal, a.mruOK = k, pe, true
 	} else {
 		a.Misses++
 	}
@@ -46,8 +60,12 @@ func (a *atc) lookup(cmap int, vpn int64) (pmapEntry, bool) {
 // install caches a translation, evicting the oldest if full.
 func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 	k := atcKey{cmap, vpn}
+	pe := pmapEntry{copy: c, rights: rights}
 	if _, resident := a.entries[k]; resident {
-		a.entries[k] = pmapEntry{copy: c, rights: rights}
+		a.entries[k] = pe
+		if a.mruOK && a.mruKey == k {
+			a.mruVal = pe
+		}
 		return
 	}
 	if len(a.ring) < a.cap {
@@ -56,16 +74,23 @@ func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 		// Evict the slot at head; ring is full so head wraps FIFO-style.
 		old := a.ring[a.head]
 		delete(a.entries, old)
+		if a.mruOK && a.mruKey == old {
+			a.mruOK = false
+		}
 		a.ring[a.head] = k
 		a.head = (a.head + 1) % a.cap
 	}
-	a.entries[k] = pmapEntry{copy: c, rights: rights}
+	a.entries[k] = pe
 }
 
 // invalidate drops the cached translation, if resident. The ring slot is
 // left in place and simply misses in the map until reused.
 func (a *atc) invalidate(cmap int, vpn int64) {
-	delete(a.entries, atcKey{cmap, vpn})
+	k := atcKey{cmap, vpn}
+	if a.mruOK && a.mruKey == k {
+		a.mruOK = false
+	}
+	delete(a.entries, k)
 }
 
 // restrict downgrades the cached translation to read-only, if resident.
@@ -74,6 +99,9 @@ func (a *atc) restrict(cmap int, vpn int64) {
 	if pe, ok := a.entries[k]; ok {
 		pe.rights = Read
 		a.entries[k] = pe
+		if a.mruOK && a.mruKey == k {
+			a.mruVal = pe
+		}
 	}
 }
 

@@ -78,93 +78,70 @@ func runBasicOps(o Options) (*Table, error) {
 	}
 	mc := mach.DefaultConfig()
 
-	add := func(name string, measured sim.Time, paper string) {
-		t.Rows = append(t.Rows, []string{name, measured.String(), paper})
-	}
-
-	// Page copy.
-	{
+	// Each scenario boots its own machine, so they are independent jobs.
+	pageCopy := func() (sim.Time, error) {
 		fx, err := newOpsFixture()
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var d sim.Time
 		fx.k.Engine().Spawn("copy", func(th *sim.Thread) {
 			d = fx.k.Machine().BlockTransfer(th, 1, 0, mc.PageWords)
 		})
 		if err := fx.k.Engine().Run(); err != nil {
-			return nil, err
+			return 0, err
 		}
-		add("page copy (4KB block transfer)", d, "1.11 ms")
+		return d, nil
 	}
-
-	// Read miss replicating a non-modified page (kernel data local and
-	// remote).
-	for _, remoteKernel := range []bool{false, true} {
+	// Cpage homes are assigned round-robin from 0: vpn 0 -> home 0,
+	// vpn 1 -> home 1. Faulting from proc 1 makes home 0 remote and
+	// home 1 local.
+	readMiss := func(remoteKernel bool) func() (sim.Time, error) {
+		return func() (sim.Time, error) {
+			fx, err := newOpsFixture()
+			if err != nil {
+				return 0, err
+			}
+			var vpn int64
+			if remoteKernel {
+				vpn = 0
+			} else {
+				vpn = 1
+			}
+			if _, err := fx.page(0); err != nil {
+				return 0, err
+			}
+			if _, err := fx.page(1); err != nil {
+				return 0, err
+			}
+			return fx.measureOp(
+				func(th *sim.Thread) { _ = fx.touch(th, 0, vpn, false) },
+				func(th *sim.Thread) { _ = fx.touch(th, 1, vpn, false) },
+			)
+		}
+	}
+	replicateModified := func() (sim.Time, error) {
 		fx, err := newOpsFixture()
 		if err != nil {
-			return nil, err
-		}
-		// Cpage homes are assigned round-robin from 0: vpn 0 -> home 0,
-		// vpn 1 -> home 1. Faulting from proc 1 makes home 0 remote and
-		// home 1 local.
-		var vpn int64
-		if remoteKernel {
-			vpn = 0
-		} else {
-			vpn = 1
+			return 0, err
 		}
 		if _, err := fx.page(0); err != nil {
-			return nil, err
+			return 0, err
 		}
-		if _, err := fx.page(1); err != nil {
-			return nil, err
-		}
-		d, err := fx.measureOp(
-			func(th *sim.Thread) { _ = fx.touch(th, 0, vpn, false) },
-			func(th *sim.Thread) { _ = fx.touch(th, 1, vpn, false) },
-		)
-		if err != nil {
-			return nil, err
-		}
-		which := "kernel data local"
-		paper := "1.34 ms"
-		if remoteKernel {
-			which = "kernel data remote"
-			paper = "1.38 ms"
-		}
-		add("read miss, replicate non-modified ("+which+")", d, paper)
-	}
-
-	// Read miss replicating a modified page (one writer downgraded).
-	{
-		fx, err := newOpsFixture()
-		if err != nil {
-			return nil, err
-		}
-		if _, err := fx.page(0); err != nil {
-			return nil, err
-		}
-		d, err := fx.measureOp(
+		return fx.measureOp(
 			func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
 			func(th *sim.Thread) { _ = fx.touch(th, 1, 0, false) },
 		)
-		if err != nil {
-			return nil, err
-		}
-		add("read miss, replicate modified (1 writer restricted)", d, "1.38-1.59 ms")
 	}
-
-	// Write miss on a present+ page (1 target invalidated, 1 page freed).
-	{
+	writeMiss := func() (sim.Time, error) {
 		fx, err := newOpsFixture()
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if _, err := fx.page(0); err != nil {
-			return nil, err
+			return 0, err
 		}
-		d, err := fx.measureOp(
+		return fx.measureOp(
 			func(th *sim.Thread) {
 				_ = fx.touch(th, 0, 0, false)
 				th.Advance(3 * core.DefaultT1)
@@ -172,15 +149,9 @@ func runBasicOps(o Options) (*Table, error) {
 			},
 			func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
 		)
-		if err != nil {
-			return nil, err
-		}
-		add("write miss on present+ (1 invalidation, 1 free)", d, "0.25-0.45 ms")
 	}
-
-	// Incremental cost per additional shootdown target.
-	{
-		cost := func(readers int) (sim.Time, error) {
+	shootdownCost := func(readers int) func() (sim.Time, error) {
+		return func() (sim.Time, error) {
 			fx, err := newOpsFixture()
 			if err != nil {
 				return 0, err
@@ -199,18 +170,32 @@ func runBasicOps(o Options) (*Table, error) {
 				func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
 			)
 		}
-		c1, err := cost(1)
-		if err != nil {
-			return nil, err
-		}
-		c15, err := cost(15)
-		if err != nil {
-			return nil, err
-		}
-		per := (c15 - c1) / 14
-		add("incremental cost per extra shootdown target", per,
-			"<= 17 µs (vs 55 µs in Mach on the Multimax)")
 	}
+
+	jobs := []func() (sim.Time, error){
+		pageCopy, readMiss(false), readMiss(true), replicateModified,
+		writeMiss, shootdownCost(1), shootdownCost(15),
+	}
+	measured := make([]sim.Time, len(jobs))
+	err := forEach(o, len(jobs), func(i int) error {
+		d, err := jobs[i]()
+		measured[i] = d
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	add := func(name string, measured sim.Time, paper string) {
+		t.Rows = append(t.Rows, []string{name, measured.String(), paper})
+	}
+	add("page copy (4KB block transfer)", measured[0], "1.11 ms")
+	add("read miss, replicate non-modified (kernel data local)", measured[1], "1.34 ms")
+	add("read miss, replicate non-modified (kernel data remote)", measured[2], "1.38 ms")
+	add("read miss, replicate modified (1 writer restricted)", measured[3], "1.38-1.59 ms")
+	add("write miss on present+ (1 invalidation, 1 free)", measured[4], "0.25-0.45 ms")
+	add("incremental cost per extra shootdown target", (measured[6]-measured[5])/14,
+		"<= 17 µs (vs 55 µs in Mach on the Multimax)")
 
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("machine: %d nodes, T_l=%v, T_r=%v, T_b=%v/word",

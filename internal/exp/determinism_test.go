@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"platinum/internal/sim"
+)
+
+// render runs experiment id and returns its table rendered to text.
+func render(t *testing.T, id string, o Options) string {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	tab, err := e.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var b strings.Builder
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatalf("%s: render: %v", id, err)
+	}
+	return b.String()
+}
+
+// TestFastPathTableIdentical is the scheduler regression gate: the
+// rendered fig1 table with the scheduler fast path forced off must be
+// byte-identical to the table with it on.
+func TestFastPathTableIdentical(t *testing.T) {
+	o := Options{Quick: true, Parallelism: 1}
+	prev := sim.SetDefaultFastPath(false)
+	slow := render(t, "fig1", o)
+	sim.SetDefaultFastPath(true)
+	fast := render(t, "fig1", o)
+	sim.SetDefaultFastPath(prev)
+	if slow != fast {
+		t.Fatalf("fig1 output differs between scheduler paths:\n--- fast path off ---\n%s--- fast path on ---\n%s", slow, fast)
+	}
+}
+
+// TestParallelismTableIdentical is the harness regression gate: running
+// an experiment's simulations 8 at a time must render byte-identically
+// to running them one at a time.
+func TestParallelismTableIdentical(t *testing.T) {
+	for _, id := range []string{"fig1", "policy-ablation", "basic-ops"} {
+		serial := render(t, id, Options{Quick: true, Parallelism: 1})
+		parallel := render(t, id, Options{Quick: true, Parallelism: 8})
+		if serial != parallel {
+			t.Fatalf("%s output differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", id, serial, parallel)
+		}
+	}
+}
+
+// TestForEachOrderAndErrors checks the worker pool runs every job and
+// reports the lowest-index error regardless of completion order.
+func TestForEachOrderAndErrors(t *testing.T) {
+	o := Options{Parallelism: 4}
+	ran := make([]bool, 100)
+	if err := forEach(o, len(ran), func(i int) error { ran[i] = true; return nil }); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+
+	first := forEach(o, 10, func(i int) error {
+		if i == 3 || i == 7 {
+			return &jobErr{i}
+		}
+		return nil
+	})
+	je, ok := first.(*jobErr)
+	if !ok || je.i != 3 {
+		t.Fatalf("forEach error = %v, want job 3's error", first)
+	}
+}
+
+type jobErr struct{ i int }
+
+func (e *jobErr) Error() string { return "job failed" }
+
+// TestTableWideRow checks WriteTo handles rows wider than the header
+// (regression: it used to index widths out of range).
+func TestTableWideRow(t *testing.T) {
+	tab := &Table{
+		ID:     "wide",
+		Title:  "wide row",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "3", "4"},
+			{"5"},
+		},
+	}
+	var b strings.Builder
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"3", "4", "5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing cell %q:\n%s", want, out)
+		}
+	}
+}

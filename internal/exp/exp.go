@@ -8,8 +8,11 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Options tune experiment scale.
@@ -17,6 +20,66 @@ type Options struct {
 	// Quick scales problem sizes down for CI; the full sizes are the
 	// paper's.
 	Quick bool
+
+	// Parallelism bounds how many independent simulation runs an
+	// experiment may execute concurrently on the host. Each data point
+	// of a sweep is its own deterministic simulation on its own engine,
+	// so runs never share state; results are collected in enumeration
+	// order, making the output identical at any setting. Zero or
+	// negative means runtime.NumCPU().
+	Parallelism int
+}
+
+// parallelism resolves the effective worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs jobs 0..n-1, each an independent simulation, on a
+// worker pool bounded by o.parallelism(). Jobs communicate results by
+// writing to caller-owned slots indexed by job number, so output order
+// is deterministic regardless of scheduling. All jobs run even if one
+// fails; the lowest-index error is returned, so failures are
+// deterministic too.
+func forEach(o Options, n int, job func(i int) error) error {
+	workers := o.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table is a printable experiment result.
@@ -32,13 +95,21 @@ type Table struct {
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
+	// Size widths to the widest row, not just the header, so rows with
+	// more cells than the header render instead of panicking.
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -45,30 +45,46 @@ func runPageSizeSweep(o Options) (*Table, error) {
 			"past that, extra words are copied for nothing",
 		},
 	}
-	var base sim.Time
 	sizes := []int{128, 256, 512, 1024, 2048}
 	if o.Quick {
 		sizes = []int{256, 1024, 2048}
 	}
-	// Collect the reference (1024) first.
-	elapsed := make(map[int]sim.Time, len(sizes))
+	// One job per distinct page size; 1024 is the reference and is part
+	// of every sweep.
+	uniq := make([]int, 0, len(sizes)+1)
 	for _, pw := range append([]int{1024}, sizes...) {
-		if _, done := elapsed[pw]; done {
-			continue
+		dup := false
+		for _, u := range uniq {
+			dup = dup || u == pw
 		}
+		if !dup {
+			uniq = append(uniq, pw)
+		}
+	}
+	elapsed := make(map[int]sim.Time, len(uniq))
+	results := make([]sim.Time, len(uniq))
+	err := forEach(o, len(uniq), func(i int) error {
+		pw := uniq[i]
 		kcfg := kernel.DefaultConfig()
 		kcfg.Machine.PageWords = pw
 		pl, err := apps.NewPlatinumPlatform(kcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, procs))
 		if err != nil {
-			return nil, fmt.Errorf("page size %d: %w", pw, err)
+			return fmt.Errorf("page size %d: %w", pw, err)
 		}
-		elapsed[pw] = r.Elapsed
+		results[i] = r.Elapsed
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	base = elapsed[1024]
+	for i, pw := range uniq {
+		elapsed[pw] = results[i]
+	}
+	base := elapsed[1024]
 	for _, pw := range sizes {
 		t.Rows = append(t.Rows, []string{
 			itoa(pw), elapsed[pw].String(),
@@ -90,24 +106,27 @@ func runBlockXferConcurrency(o Options) (*Table, error) {
 			"processing and transfers reduces replication's collateral cost",
 		},
 	}
-	var base sim.Time
-	for _, occ := range []int{1000, 750, 500, 250} {
+	occs := []int{1000, 750, 500, 250}
+	elapsed := make([]sim.Time, len(occs))
+	err := forEach(o, len(occs), func(i int) error {
 		kcfg := gaussKernelConfig(pw)
-		kcfg.Machine.BlockXferOccupancy = occ
+		kcfg.Machine.BlockXferOccupancy = occs[i]
 		pl, err := apps.NewPlatinumPlatform(kcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, 16))
-		if err != nil {
-			return nil, err
-		}
-		if occ == 1000 {
-			base = r.Elapsed
-		}
+		elapsed[i] = r.Elapsed
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := elapsed[0] // occupancy 100% is the reference
+	for i, occ := range occs {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d%%", occ/10), r.Elapsed.String(),
-			f2(float64(base) / float64(r.Elapsed)),
+			fmt.Sprintf("%d%%", occ/10), elapsed[i].String(),
+			f2(float64(base) / float64(elapsed[i])),
 		})
 	}
 	return t, nil
@@ -140,41 +159,32 @@ func runAppSuite(o Options) (*Table, error) {
 			"re-replicated each sweep (surface-to-volume coherency traffic)",
 		},
 	}
-	runOne := func(p int) (sim.Time, sim.Time, error) {
+	procs := []int{1, 2, 4, 8, 16}
+	// One job per (processor count, application) pair.
+	elapsed := make([]sim.Time, 2*len(procs))
+	err := forEach(o, len(elapsed), func(i int) error {
+		p := procs[i/2]
 		kcfg := kernel.DefaultConfig()
 		kcfg.Machine.PageWords = 256
 		pl, err := apps.NewPlatinumPlatform(kcfg)
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		mm, err := apps.RunMatMul(pl, apps.DefaultMatMulConfig(n, p))
-		if err != nil {
-			return 0, 0, err
+		if i%2 == 0 {
+			mm, err := apps.RunMatMul(pl, apps.DefaultMatMulConfig(n, p))
+			elapsed[i] = mm.Elapsed
+			return err
 		}
-		kcfg2 := kernel.DefaultConfig()
-		kcfg2.Machine.PageWords = 256
-		pl2, err := apps.NewPlatinumPlatform(kcfg2)
-		if err != nil {
-			return 0, 0, err
-		}
-		sr, err := apps.RunSOR(pl2, apps.DefaultSORConfig(grid, 256, p))
-		if err != nil {
-			return 0, 0, err
-		}
-		return mm.Elapsed, sr.Elapsed, nil
-	}
-	baseM, baseS, err := runOne(1)
+		sr, err := apps.RunSOR(pl, apps.DefaultSORConfig(grid, 256, p))
+		elapsed[i] = sr.Elapsed
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range []int{1, 2, 4, 8, 16} {
-		em, es := baseM, baseS
-		if p != 1 {
-			em, es, err = runOne(p)
-			if err != nil {
-				return nil, err
-			}
-		}
+	baseM, baseS := elapsed[0], elapsed[1]
+	for i, p := range procs {
+		em, es := elapsed[2*i], elapsed[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			itoa(p),
 			fmt.Sprintf("%v (%sx)", em, f2(float64(baseM)/float64(em))),
@@ -214,16 +224,22 @@ func runColocateOptions(o Options) (*Table, error) {
 	if o.Quick {
 		sizes = []int{1, 8}
 	}
-	for _, pages := range sizes {
+	strats := []apps.ColocateStrategy{apps.Remote, apps.MigrateData, apps.MigrateThread}
+	elapsed := make([]sim.Time, len(sizes)*len(strats))
+	err := forEach(o, len(elapsed), func(i int) error {
+		d, err := apps.RunColocate(apps.ColocateConfig{
+			Pages: sizes[i/len(strats)], Rho: 1.0, Ops: ops, Strategy: strats[i%len(strats)],
+		})
+		elapsed[i] = d
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pages := range sizes {
 		row := []string{itoa(pages)}
-		for _, strat := range []apps.ColocateStrategy{apps.Remote, apps.MigrateData, apps.MigrateThread} {
-			d, err := apps.RunColocate(apps.ColocateConfig{
-				Pages: pages, Rho: 1.0, Ops: ops, Strategy: strat,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, d.String())
+		for j := range strats {
+			row = append(row, elapsed[i*len(strats)+j].String())
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -96,20 +96,20 @@ func runFig1(o Options) (*Table, error) {
 			"paper (800x800, 16 procs): speedup 13.5",
 		},
 	}
-	base, err := runGaussAt(o, 1, "platinum", core.SourceFirstCopy)
+	procs := procSweep(o)
+	elapsed := make([]sim.Time, len(procs))
+	err := forEach(o, len(procs), func(i int) error {
+		el, err := runGaussAt(o, procs[i], "platinum", core.SourceFirstCopy)
+		elapsed[i] = el
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range procSweep(o) {
-		el := base
-		if p != 1 {
-			el, err = runGaussAt(o, p, "platinum", core.SourceFirstCopy)
-			if err != nil {
-				return nil, err
-			}
-		}
+	base := elapsed[0] // procSweep always starts at 1 processor
+	for i, p := range procs {
 		t.Rows = append(t.Rows, []string{
-			itoa(p), el.String(), f2(float64(base) / float64(el)),
+			itoa(p), elapsed[i].String(), f2(float64(base) / float64(elapsed[i])),
 		})
 	}
 	return t, nil
@@ -127,23 +127,29 @@ func runGaussCompare(o Options) (*Table, error) {
 			"the last column compares absolute 16-processor times",
 		},
 	}
-	var platinum16 sim.Time
-	for _, v := range []struct{ id, label string }{
+	variants := []struct{ id, label string }{
 		{"platinum", "PLATINUM coherent memory"},
 		{"uniform", "Uniform System (static scatter)"},
 		{"smp", "SMP message passing"},
-	} {
-		t1, err := runGaussAt(o, 1, v.id, core.SourceFirstCopy)
+	}
+	procs := []int{1, 16}
+	// One job per (variant, processor count) pair.
+	elapsed := make([]sim.Time, len(variants)*len(procs))
+	err := forEach(o, len(elapsed), func(i int) error {
+		v, p := variants[i/len(procs)], procs[i%len(procs)]
+		el, err := runGaussAt(o, p, v.id, core.SourceFirstCopy)
 		if err != nil {
-			return nil, fmt.Errorf("%s p=1: %w", v.id, err)
+			return fmt.Errorf("%s p=%d: %w", v.id, p, err)
 		}
-		t16, err := runGaussAt(o, 16, v.id, core.SourceFirstCopy)
-		if err != nil {
-			return nil, fmt.Errorf("%s p=16: %w", v.id, err)
-		}
-		if v.id == "platinum" {
-			platinum16 = t16
-		}
+		elapsed[i] = el
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	platinum16 := elapsed[1]
+	for i, v := range variants {
+		t1, t16 := elapsed[i*len(procs)], elapsed[i*len(procs)+1]
 		t.Rows = append(t.Rows, []string{
 			v.label, t1.String(), t16.String(), f2(float64(t1) / float64(t16)),
 			f2(float64(t16) / float64(platinum16)),
@@ -163,14 +169,17 @@ func runReplSource(o Options) (*Table, error) {
 			"§7-style what-if",
 		},
 	}
-	first, err := runGaussAt(o, 16, "platinum", core.SourceFirstCopy)
+	sels := []core.SourceSelection{core.SourceFirstCopy, core.SourceLeastLoaded}
+	elapsed := make([]sim.Time, len(sels))
+	err := forEach(o, len(sels), func(i int) error {
+		el, err := runGaussAt(o, 16, "platinum", sels[i])
+		elapsed[i] = el
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	least, err := runGaussAt(o, 16, "platinum", core.SourceLeastLoaded)
-	if err != nil {
-		return nil, err
-	}
+	first, least := elapsed[0], elapsed[1]
 	t.Rows = append(t.Rows, []string{"first copy (default)", first.String(), "1.00"})
 	t.Rows = append(t.Rows, []string{"least loaded", least.String(), f2(float64(first) / float64(least))})
 	return t, nil

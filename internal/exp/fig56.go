@@ -71,24 +71,27 @@ func runFig5(o Options) (*Table, error) {
 			"hold nothing across merge phases; every store is a bus write)",
 		},
 	}
-	baseP, err := runMergeSortOn("platinum", words, 1)
-	if err != nil {
-		return nil, err
-	}
-	baseU, err := runMergeSortOn("uma", words, 1)
-	if err != nil {
-		return nil, err
-	}
 	// Powers of two keep the merge tree balanced, matching the study.
-	for _, p := range []int{1, 2, 4, 8, 16} {
-		ep, err := runMergeSortOn("platinum", words, p)
-		if err != nil {
-			return nil, err
+	procs := []int{1, 2, 4, 8, 16}
+	// One job per (processor count, platform) pair; the p=1 runs double
+	// as the speedup baselines.
+	elapsed := make([]sim.Time, 2*len(procs))
+	err := forEach(o, len(elapsed), func(i int) error {
+		p := procs[i/2]
+		platform := "platinum"
+		if i%2 == 1 {
+			platform = "uma"
 		}
-		eu, err := runMergeSortOn("uma", words, p)
-		if err != nil {
-			return nil, err
-		}
+		el, err := runMergeSortOn(platform, words, p)
+		elapsed[i] = el
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseP, baseU := elapsed[0], elapsed[1]
+	for i, p := range procs {
+		ep, eu := elapsed[2*i], elapsed[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			itoa(p),
 			ep.String(), f2(float64(baseP) / float64(ep)),
@@ -130,25 +133,24 @@ func runFig6(o Options) (*Table, error) {
 		}
 		return r.Elapsed, nil
 	}
-	base, err := run(1)
-	if err != nil {
-		return nil, err
-	}
 	procs := []int{1, 2, 4, 6, 8}
 	if o.Quick {
 		procs = []int{1, 2, 4, 8}
 	}
-	for _, p := range procs {
-		el := base
-		if p != 1 {
-			el, err = run(p)
-			if err != nil {
-				return nil, err
-			}
-		}
-		sp := float64(base) / float64(el)
+	elapsed := make([]sim.Time, len(procs))
+	err := forEach(o, len(procs), func(i int) error {
+		el, err := run(procs[i])
+		elapsed[i] = el
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := elapsed[0] // procs always starts at 1
+	for i, p := range procs {
+		sp := float64(base) / float64(elapsed[i])
 		t.Rows = append(t.Rows, []string{
-			itoa(p), el.String(), f2(sp), f2(sp / float64(p)),
+			itoa(p), elapsed[i].String(), f2(sp), f2(sp / float64(p)),
 		})
 	}
 	return t, nil

@@ -70,43 +70,47 @@ func runGenerations(o Options) (*Table, error) {
 		{"Butterfly 1", mach.Butterfly1Config(), 2.0},
 		{"Butterfly Plus", mach.DefaultConfig(), 1.0},
 	}
-	for _, g := range gens {
+	// One job per (generation, processor count) pair.
+	procs := []int{1, 16}
+	elapsed := make([]sim.Time, len(gens)*len(procs))
+	err := forEach(o, len(elapsed), func(i int) error {
+		g, p := gens[i/len(procs)], procs[i%len(procs)]
+		mc := g.mc
+		mc.PageWords = pw
+		kcfg := kernel.DefaultConfig()
+		kcfg.Machine = mc
+		scaleOverheads(&kcfg.Core, g.overheadScale)
+		pl, err := apps.NewPlatinumPlatform(kcfg)
+		if err != nil {
+			return err
+		}
+		cfg := apps.DefaultGaussConfig(n, p)
+		// Slower processors: scale the arithmetic too.
+		cfg.OpCost = sim1(float64(cfg.OpCost) * g.overheadScale)
+		r, err := apps.RunGaussPlatinum(pl, cfg)
+		if err != nil {
+			return fmt.Errorf("%s p=%d: %w", g.label, p, err)
+		}
+		elapsed[i] = r.Elapsed
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range gens {
 		params := generationParams(g.mc, g.overheadScale)
 		smin1 := params.SMin(1.0, 1.0)
 		sminStr := "never"
 		if !math.IsInf(smin1, 1) {
 			sminStr = fmt.Sprintf("%.0f", smin1)
 		}
-
-		mc := g.mc
-		mc.PageWords = pw
-		kcfg := kernel.DefaultConfig()
-		kcfg.Machine = mc
-		scaleOverheads(&kcfg.Core, g.overheadScale)
-		run := func(p int) (apps.GaussResult, error) {
-			pl, err := apps.NewPlatinumPlatform(kcfg)
-			if err != nil {
-				return apps.GaussResult{}, err
-			}
-			cfg := apps.DefaultGaussConfig(n, p)
-			// Slower processors: scale the arithmetic too.
-			cfg.OpCost = sim1(float64(cfg.OpCost) * g.overheadScale)
-			return apps.RunGaussPlatinum(pl, cfg)
-		}
-		r1, err := run(1)
-		if err != nil {
-			return nil, fmt.Errorf("%s p=1: %w", g.label, err)
-		}
-		r16, err := run(16)
-		if err != nil {
-			return nil, fmt.Errorf("%s p=16: %w", g.label, err)
-		}
+		t1, t16 := elapsed[i*len(procs)], elapsed[i*len(procs)+1]
 		t.Rows = append(t.Rows, []string{
 			g.label,
 			fmt.Sprintf("%.3f", params.Coefficient()),
 			sminStr,
-			r16.Elapsed.String(),
-			f2(float64(r1.Elapsed) / float64(r16.Elapsed)),
+			t16.String(),
+			f2(float64(t1) / float64(t16)),
 		})
 	}
 	return t, nil

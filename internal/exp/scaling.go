@@ -5,6 +5,7 @@ import (
 
 	"platinum/internal/apps"
 	"platinum/internal/kernel"
+	"platinum/internal/sim"
 )
 
 // scaling probes §9's claim that the kernel's decentralized design
@@ -42,8 +43,9 @@ func runScaling(o Options) (*Table, error) {
 			"is not the scaling limit",
 		},
 	}
-	var base float64
-	for _, nodes := range nodesList {
+	elapsed := make([]sim.Time, len(nodesList))
+	err := forEach(o, len(nodesList), func(i int) error {
+		nodes := nodesList[i]
 		n := rowsPerProc * nodes
 		kcfg := kernel.DefaultConfig()
 		kcfg.Machine.Nodes = nodes
@@ -53,21 +55,30 @@ func runScaling(o Options) (*Table, error) {
 		kcfg.Core.FramesPerModule = 2*n + 64
 		pl, err := apps.NewPlatinumPlatform(kcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, nodes))
 		if err != nil {
-			return nil, fmt.Errorf("nodes=%d: %w", nodes, err)
+			return fmt.Errorf("nodes=%d: %w", nodes, err)
 		}
+		elapsed[i] = r.Elapsed
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	for i, nodes := range nodesList {
+		n := rowsPerProc * nodes
 		// Work per processor: sum over rounds of (owned rows x width)
 		// ~ n^3 / (3 * procs) row-words.
 		work := float64(n) * float64(n) * float64(n) / (3 * float64(nodes))
-		perWord := float64(r.Elapsed) / work
-		if nodes == nodesList[0] {
+		perWord := float64(elapsed[i]) / work
+		if i == 0 {
 			base = perWord
 		}
 		t.Rows = append(t.Rows, []string{
-			itoa(nodes), fmt.Sprintf("%dx%d", n, n), r.Elapsed.String(),
+			itoa(nodes), fmt.Sprintf("%dx%d", n, n), elapsed[i].String(),
 			fmt.Sprintf("%.0f", work), fmt.Sprintf("%.0f", perWord),
 			f2(base / perWord),
 		})

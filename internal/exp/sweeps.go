@@ -53,23 +53,28 @@ func runFreezeAnecdote(o Options) (*Table, error) {
 		{"co-located", true, 10 * sim.Millisecond},
 		{"separate pages", false, 0},
 	}
-	for _, c := range cases {
+	results := make([]apps.AnecdoteResult, len(cases))
+	err := forEach(o, len(cases), func(i int) error {
 		cfg := apps.DefaultAnecdoteConfig(threads)
-		cfg.Colocate = c.colocate
-		cfg.Defrost = c.defrost
+		cfg.Colocate = cases[i].colocate
+		cfg.Defrost = cases[i].defrost
 		if o.Quick {
 			cfg.Iters /= 4
 		}
 		r, err := apps.RunAnecdote(cfg)
-		if err != nil {
-			return nil, err
-		}
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
 		defrost := "off"
 		if c.defrost > 0 {
 			defrost = c.defrost.String()
 		}
 		t.Rows = append(t.Rows, []string{
-			c.label, defrost, r.Elapsed.String(), fmt.Sprintf("%v", r.SizeFrozen),
+			c.label, defrost, results[i].Elapsed.String(), fmt.Sprintf("%v", results[i].SizeFrozen),
 		})
 	}
 	return t, nil
@@ -96,32 +101,39 @@ func runT1Sweep(o Options) (*Table, error) {
 	if o.Quick {
 		t1s = []sim.Time{10 * sim.Millisecond, 100 * sim.Millisecond}
 	}
-	for _, t1 := range t1s {
+	// Two jobs per t1 value: gauss and backprop.
+	elapsed := make([]sim.Time, 2*len(t1s))
+	err := forEach(o, len(elapsed), func(i int) error {
+		t1 := t1s[i/2]
+		if i%2 == 0 {
+			kcfg := kernel.DefaultConfig()
+			kcfg.Machine.PageWords = pw
+			kcfg.Core.Policy = core.NewPlatinumPolicy(t1, false)
+			pl, err := apps.NewPlatinumPlatform(kcfg)
+			if err != nil {
+				return err
+			}
+			g, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, 8))
+			elapsed[i] = g.Elapsed
+			return err
+		}
 		kcfg := kernel.DefaultConfig()
-		kcfg.Machine.PageWords = pw
 		kcfg.Core.Policy = core.NewPlatinumPolicy(t1, false)
 		pl, err := apps.NewPlatinumPlatform(kcfg)
 		if err != nil {
-			return nil, err
-		}
-		g, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, 8))
-		if err != nil {
-			return nil, err
-		}
-
-		kcfg2 := kernel.DefaultConfig()
-		kcfg2.Core.Policy = core.NewPlatinumPolicy(t1, false)
-		pl2, err := apps.NewPlatinumPlatform(kcfg2)
-		if err != nil {
-			return nil, err
+			return err
 		}
 		bcfg := apps.DefaultBackpropConfig(8)
 		bcfg.Epochs = epochs
-		b, err := apps.RunBackprop(pl2, bcfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{t1.String(), g.Elapsed.String(), b.Elapsed.String()})
+		b, err := apps.RunBackprop(pl, bcfg)
+		elapsed[i] = b.Elapsed
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t1 := range t1s {
+		t.Rows = append(t.Rows, []string{t1.String(), elapsed[2*i].String(), elapsed[2*i+1].String()})
 	}
 	return t, nil
 }
@@ -150,7 +162,13 @@ func runPolicyAblation(o Options) (*Table, error) {
 		func() core.Policy { return core.NeverCache{} },
 		func() core.Policy { return core.MigrateOnce{Limit: 4} },
 	}
-	for _, mk := range policies {
+	const napps = 3 // gauss, merge sort, backprop
+	// One job per (policy, application) pair, each with a fresh policy
+	// instance so concurrent runs never share policy state.
+	elapsed := make([]sim.Time, len(policies)*napps)
+	names := make([]string, len(policies))
+	err := forEach(o, len(elapsed), func(i int) error {
+		mk, app := policies[i/napps], i%napps
 		mkKernel := func(pageWords int) (kernel.Config, core.Policy) {
 			kcfg := kernel.DefaultConfig()
 			kcfg.Machine.PageWords = pageWords
@@ -158,46 +176,53 @@ func runPolicyAblation(o Options) (*Table, error) {
 			kcfg.Core.Policy = pol
 			return kcfg, pol
 		}
-
-		kcfg, pol := mkKernel(pw)
-		pl, err := apps.NewPlatinumPlatform(kcfg)
-		if err != nil {
-			return nil, err
+		switch app {
+		case 0:
+			kcfg, pol := mkKernel(pw)
+			names[i/napps] = pol.Name()
+			pl, err := apps.NewPlatinumPlatform(kcfg)
+			if err != nil {
+				return err
+			}
+			g, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, 8))
+			elapsed[i] = g.Elapsed
+			return err
+		case 1:
+			kcfg, pol := mkKernel(1024)
+			pl, err := apps.NewPlatinumPlatform(kcfg)
+			if err != nil {
+				return err
+			}
+			mcfg := apps.DefaultMergeSortConfig(8)
+			mcfg.Words = sortWords
+			ms, err := apps.RunMergeSort(pl, mcfg)
+			if err != nil {
+				return err
+			}
+			if !ms.Sorted {
+				return fmt.Errorf("exp: unsorted output under %s", pol.Name())
+			}
+			elapsed[i] = ms.Elapsed
+			return nil
+		default:
+			kcfg, _ := mkKernel(1024)
+			pl, err := apps.NewPlatinumPlatform(kcfg)
+			if err != nil {
+				return err
+			}
+			bcfg := apps.DefaultBackpropConfig(8)
+			bcfg.Epochs = 6
+			b, err := apps.RunBackprop(pl, bcfg)
+			elapsed[i] = b.Elapsed
+			return err
 		}
-		g, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(n, 8))
-		if err != nil {
-			return nil, err
-		}
-
-		kcfg2, _ := mkKernel(1024)
-		pl2, err := apps.NewPlatinumPlatform(kcfg2)
-		if err != nil {
-			return nil, err
-		}
-		mcfg := apps.DefaultMergeSortConfig(8)
-		mcfg.Words = sortWords
-		ms, err := apps.RunMergeSort(pl2, mcfg)
-		if err != nil {
-			return nil, err
-		}
-		if !ms.Sorted {
-			return nil, fmt.Errorf("exp: unsorted output under %s", pol.Name())
-		}
-
-		kcfg3, _ := mkKernel(1024)
-		pl3, err := apps.NewPlatinumPlatform(kcfg3)
-		if err != nil {
-			return nil, err
-		}
-		bcfg := apps.DefaultBackpropConfig(8)
-		bcfg.Epochs = 6
-		b, err := apps.RunBackprop(pl3, bcfg)
-		if err != nil {
-			return nil, err
-		}
-
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range policies {
 		t.Rows = append(t.Rows, []string{
-			pol.Name(), g.Elapsed.String(), ms.Elapsed.String(), b.Elapsed.String(),
+			names[i], elapsed[i*napps].String(), elapsed[i*napps+1].String(), elapsed[i*napps+2].String(),
 		})
 	}
 	return t, nil

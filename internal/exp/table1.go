@@ -78,15 +78,21 @@ func runTable1Empirical(o Options) (*Table, error) {
 	if o.Quick {
 		cases = cases[:4]
 	}
-	for _, c := range cases {
+	got := make([]float64, len(cases))
+	err := forEach(o, len(cases), func(i int) error {
+		c := cases[i]
+		v, err := apps.EmpiricalSMin(c.rho, c.procs, 8, 16384, 6*c.procs)
+		got[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
 		g := model.GRoundRobin(c.procs)
 		want := params.SMin(c.rho, g)
-		got, err := apps.EmpiricalSMin(c.rho, c.procs, 8, 16384, 6*c.procs)
-		if err != nil {
-			return nil, err
-		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.2f", c.rho), itoa(c.procs), f2(g), smin(want), smin(got),
+			fmt.Sprintf("%.2f", c.rho), itoa(c.procs), f2(g), smin(want), smin(got[i]),
 		})
 	}
 	return t, nil

@@ -20,6 +20,36 @@ func (h *threadHeap) push(t *Thread) {
 	h.up(t.heapIdx)
 }
 
+// peek returns the minimum thread without removing it, or nil if the
+// heap is empty.
+func (h *threadHeap) peek() *Thread {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// fix restores the heap order after the key of the thread at index i
+// changed in place.
+func (h *threadHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// replaceTop swaps t in for the current minimum and returns that
+// minimum. Equivalent to push(t) followed by pop() when the caller
+// knows the current minimum orders before t, but with a single
+// sift-down instead of an up- and a down-pass.
+func (h *threadHeap) replaceTop(t *Thread) *Thread {
+	u := h.items[0]
+	u.heapIdx = -1
+	h.items[0] = t
+	t.heapIdx = 0
+	h.down(0)
+	return u
+}
+
 // pop removes and returns the minimum thread, or nil if the heap is empty.
 func (h *threadHeap) pop() *Thread {
 	if len(h.items) == 0 {
@@ -48,8 +78,11 @@ func (h *threadHeap) up(i int) {
 	}
 }
 
-func (h *threadHeap) down(i int) {
+// down sifts the thread at index i toward the leaves and reports
+// whether it moved.
+func (h *threadHeap) down(i int) bool {
 	n := len(h.items)
+	moved := false
 	for {
 		left := 2*i + 1
 		if left >= n {
@@ -64,7 +97,9 @@ func (h *threadHeap) down(i int) {
 		}
 		h.swap(i, min)
 		i = min
+		moved = true
 	}
+	return moved
 }
 
 func (h *threadHeap) swap(i, j int) {

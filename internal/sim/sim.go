@@ -13,6 +13,19 @@
 // Unblock on it. Shared simulation state (memory modules, page tables,
 // protocol state) needs no locking: it is only ever touched by the single
 // currently-executing thread.
+//
+// Two scheduling optimizations keep the dispatch order — and therefore
+// every simulation result — bit-for-bit identical while eliding most of
+// the goroutine context switches:
+//
+//   - fast path: a thread that advances its clock and remains strictly
+//     the earliest runnable thread keeps executing in place (see
+//     Thread.Advance); SetFastPath / SetDefaultFastPath disable this
+//     for A/B testing.
+//   - direct handoff: a thread that does yield resumes the next
+//     runnable thread itself, without a round trip through the engine
+//     goroutine; the engine goroutine is woken only for termination,
+//     deadlock, or a thread-body panic.
 package sim
 
 import (
@@ -68,7 +81,19 @@ type Engine struct {
 	nlive    int // non-daemon threads not yet finished
 	readyND  int // non-daemon threads currently in the ready heap
 	stopping bool
+	fastPath bool
 	fail     error // first thread-body panic, reported by Run
+
+	// wake returns control to the engine goroutine (blocked in Run or
+	// shutdown) when a yielding or finishing thread cannot hand off to
+	// another thread: simulation complete, deadlock, or panic.
+	wake chan struct{}
+
+	// fastSteps counts dispatches elided entirely (a thread kept
+	// executing without any goroutine switch); slowSteps counts real
+	// resumes of a parked thread goroutine. Exposed through Stats.
+	fastSteps int64
+	slowSteps int64
 }
 
 // ThreadPanicError reports a simulated thread whose body panicked — for
@@ -83,17 +108,56 @@ func (e *ThreadPanicError) Error() string {
 	return fmt.Sprintf("sim: thread %q panicked: %v", e.Thread, e.Value)
 }
 
-// pushReady enqueues t for dispatch.
+// pushReady enqueues t for dispatch. A thread already resident in the
+// ready heap (heapIdx >= 0) is not pushed again — its position is fixed
+// up in place for the possibly-updated clock — so the heap never holds
+// duplicate entries and readyND counts each thread at most once.
 func (e *Engine) pushReady(t *Thread) {
+	if t.heapIdx >= 0 {
+		e.ready.fix(t.heapIdx)
+		return
+	}
 	e.ready.push(t)
 	if !t.daemon {
 		e.readyND++
 	}
 }
 
+// defaultFastPath is the fast-path setting inherited by new engines.
+var defaultFastPath = true
+
+// SetDefaultFastPath sets whether engines created by NewEngine use the
+// scheduler fast path (see SetFastPath), returning the previous value.
+// It exists so determinism tests can force the slow path through layers
+// that construct their own engines; it is not safe to call concurrently
+// with NewEngine.
+func SetDefaultFastPath(on bool) bool {
+	prev := defaultFastPath
+	defaultFastPath = on
+	return prev
+}
+
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{threads: make(map[int]*Thread)}
+	return &Engine{
+		threads:  make(map[int]*Thread),
+		fastPath: defaultFastPath,
+		wake:     make(chan struct{}),
+	}
+}
+
+// SetFastPath enables or disables the scheduler fast path, under which
+// a thread calling Advance or Yield keeps executing in place whenever
+// it is still strictly the earliest runnable thread (so the dispatcher
+// would immediately re-select it anyway). The dispatch order — and
+// therefore every simulation result — is identical either way; only
+// the goroutine handoffs are elided. Enabled by default.
+func (e *Engine) SetFastPath(on bool) { e.fastPath = on }
+
+// Stats reports scheduler counters: dispatches elided by the fast path
+// and full park/resume handoffs.
+func (e *Engine) Stats() (fastSteps, slowSteps int64) {
+	return e.fastSteps, e.slowSteps
 }
 
 // Now reports the engine's current virtual time: the clock of the most
@@ -106,13 +170,13 @@ func (e *Engine) Now() Time { return e.now }
 // running thread.
 func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
 	t := &Thread{
-		engine: e,
-		id:     e.nextID,
-		name:   name,
-		clock:  e.now,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
-		state:  stateReady,
+		engine:  e,
+		id:      e.nextID,
+		name:    name,
+		clock:   e.now,
+		resume:  make(chan struct{}),
+		state:   stateReady,
+		heapIdx: -1,
 	}
 	e.nextID++
 	e.threads[t.id] = t
@@ -135,7 +199,14 @@ func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
 			if !t.daemon {
 				e.nlive--
 			}
-			t.parked <- struct{}{}
+			// Hand the control token on: to the next runnable thread,
+			// or back to the engine goroutine (always the latter while
+			// shutting down, so shutdown's unwind loop regains control).
+			if e.stopping {
+				e.wake <- struct{}{}
+			} else {
+				e.dispatchNext(t)
+			}
 		}()
 		if e.stopping {
 			panic(errStopped{})
@@ -146,13 +217,39 @@ func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
 	return t
 }
 
-// step dispatches thread t and waits for it to yield, block, or finish.
-func (e *Engine) step(t *Thread) {
-	e.running = t
-	t.state = stateRunning
-	t.resume <- struct{}{}
-	<-t.parked
+// dispatchNext transfers the control token held by thread from, which
+// has just yielded, blocked, or finished. If another thread is
+// dispatchable it is resumed directly — no round trip through the
+// engine goroutine. If the yielding thread itself is still the earliest
+// runnable thread, dispatchNext reports true and from keeps executing
+// without any goroutine switch. Otherwise (simulation over, deadlock,
+// a recorded panic, or the fast path disabled) the engine goroutine is
+// woken: with the fast path off every dispatch goes through the engine
+// loop, reproducing the reference scheduler for A/B testing.
+func (e *Engine) dispatchNext(from *Thread) bool {
+	if e.fastPath && e.fail == nil && e.nlive > 0 && e.readyND > 0 {
+		t := e.ready.pop()
+		if !t.daemon {
+			e.readyND--
+		}
+		if t.clock > e.now {
+			e.now = t.clock
+		}
+		e.running = t
+		if t == from {
+			e.fastSteps++
+			return true
+		}
+		t.state = stateRunning
+		e.slowSteps++
+		t.resume <- struct{}{}
+		return false
+	}
+	// Simulation finished, every non-daemon thread blocked, or the
+	// machine halted on a panic: Run decides which.
 	e.running = nil
+	e.wake <- struct{}{}
+	return false
 }
 
 // Run executes the simulation until every non-daemon thread has finished.
@@ -178,13 +275,17 @@ func (e *Engine) Run() error {
 		if !t.daemon {
 			e.readyND--
 		}
-		if t.state != stateReady {
-			continue // stale heap entry
-		}
 		if t.clock > e.now {
 			e.now = t.clock
 		}
-		e.step(t)
+		// Dispatch t and wait for the control token to come back.
+		// Threads hand off among themselves (dispatchNext); control
+		// returns here only for termination, deadlock, or panic.
+		e.running = t
+		t.state = stateRunning
+		e.slowSteps++
+		t.resume <- struct{}{}
+		<-e.wake
 	}
 	return e.fail
 }
@@ -206,8 +307,12 @@ func (e *Engine) shutdown() {
 			continue
 		}
 		// Resuming a stopping engine makes the thread's next yield point
-		// panic with errStopped, unwinding it.
-		e.step(t)
+		// panic with errStopped, unwinding it; the thread's exit handler
+		// wakes us rather than dispatching.
+		e.running = t
+		t.resume <- struct{}{}
+		<-e.wake
+		e.running = nil
 	}
 }
 

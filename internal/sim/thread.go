@@ -22,8 +22,7 @@ type Thread struct {
 	daemon bool
 	state  threadState
 
-	resume chan struct{} // engine -> thread: run
-	parked chan struct{} // thread -> engine: yielded/blocked/done
+	resume chan struct{} // dispatcher (engine or peer thread) -> thread: run
 
 	heapIdx int // index in the ready heap, -1 if absent
 }
@@ -62,11 +61,17 @@ func (t *Thread) SetDaemon(d bool) {
 	}
 }
 
-// yield parks the thread and waits to be dispatched again.
+// yield hands the control token to the next runnable thread and parks
+// until dispatched again. If this thread is itself still the earliest
+// runnable thread, it keeps executing without parking at all.
 func (t *Thread) yield() {
-	t.parked <- struct{}{}
+	e := t.engine
+	if e.dispatchNext(t) {
+		t.state = stateRunning
+		return
+	}
 	<-t.resume
-	if t.engine.stopping {
+	if e.stopping {
 		panic(errStopped{})
 	}
 	t.state = stateRunning
@@ -74,13 +79,59 @@ func (t *Thread) yield() {
 
 // Advance consumes d of virtual time and yields to the scheduler, so any
 // thread whose clock is now smaller runs first. d must be non-negative.
+//
+// Fast path: if after advancing the thread is still strictly the
+// earliest runnable thread — the ready heap is empty, or its minimum
+// entry orders after (clock, id) — the dispatcher would pop this thread
+// right back, so Advance skips the park/resume handoff and returns with
+// the thread still running. This elides two goroutine context switches
+// per reference for any phase where one thread runs behind all others
+// (in particular the whole of every 1-processor run) while leaving the
+// dispatch order bit-for-bit identical.
 func (t *Thread) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative Advance(%d) by thread %q", d, t.name))
 	}
 	t.clock += d
+	e := t.engine
+	if e.fastPath && e.running == t && !e.stopping {
+		top := e.ready.peek()
+		if top == nil ||
+			t.clock < top.clock || (t.clock == top.clock && t.id < top.id) {
+			if t.clock > e.now {
+				e.now = t.clock
+			}
+			e.fastSteps++
+			return
+		}
+		if !t.daemon {
+			// Fused handoff: top orders before t, so push(t)+pop() would
+			// return exactly top. Swap t into top's slot with one
+			// sift-down and resume top directly. t being a live
+			// non-daemon guarantees the dispatcher's liveness conditions
+			// (nlive > 0, a non-daemon ready) hold.
+			u := e.ready.replaceTop(t)
+			t.state = stateReady
+			if u.daemon {
+				e.readyND++ // non-daemon t entered the heap, daemon u left
+			}
+			if u.clock > e.now {
+				e.now = u.clock
+			}
+			e.running = u
+			u.state = stateRunning
+			e.slowSteps++
+			u.resume <- struct{}{}
+			<-t.resume
+			if e.stopping {
+				panic(errStopped{})
+			}
+			t.state = stateRunning
+			return
+		}
+	}
 	t.state = stateReady
-	t.engine.pushReady(t)
+	e.pushReady(t)
 	t.yield()
 }
 
