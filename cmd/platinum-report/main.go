@@ -5,19 +5,29 @@
 // This is the instrumentation that let the paper's authors diagnose the
 // frozen-pivot-page anomaly.
 //
+// With -json the same data is emitted as one structured document
+// (metrics.Report, schema_version 1): the machine-wide and per-node
+// cost breakdowns — exact per-cause time, not samples — plus the
+// per-page records ranked most-expensive-first. See EXPERIMENTS.md for
+// the field-by-field schema.
+//
 // Usage:
 //
 //	platinum-report [-app gauss|mergesort|backprop|anecdote] [-procs n]
-//	                [-n size] [-top k]
+//	                [-n size] [-top k] [-json]
+//	                [-trace n] [-timeline file.jsonl] [-bucket d]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"platinum/internal/apps"
 	"platinum/internal/kernel"
+	"platinum/internal/metrics"
+	"platinum/internal/sim"
 	trc "platinum/internal/trace"
 )
 
@@ -26,7 +36,10 @@ func main() {
 	procs := flag.Int("procs", 8, "processors to use")
 	size := flag.Int("n", 240, "problem size (matrix dim / words / epochs)")
 	top := flag.Int("top", 20, "show the k busiest pages")
+	jsonOut := flag.Bool("json", false, "emit the structured metrics report as JSON")
 	trace := flag.Int("trace", 0, "record up to this many protocol events and print a summary")
+	timeline := flag.String("timeline", "", "write a per-node timeline as JSON Lines to this file (requires -trace)")
+	bucket := flag.Duration("bucket", time.Millisecond, "timeline bucket width (virtual time)")
 	flag.Parse()
 
 	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
@@ -37,6 +50,8 @@ func main() {
 		pl.K.EnableTrace(*trace)
 	}
 
+	var elapsed sim.Time
+	var header string
 	switch *app {
 	case "gauss":
 		cfg := apps.DefaultGaussConfig(*size, *procs)
@@ -45,7 +60,8 @@ func main() {
 			fail(err)
 		}
 		want := apps.GaussReferenceChecksum(cfg)
-		fmt.Printf("gauss %dx%d on %d procs: %v (checksum %#x, reference %#x)\n\n",
+		elapsed = r.Elapsed
+		header = fmt.Sprintf("gauss %dx%d on %d procs: %v (checksum %#x, reference %#x)",
 			*size, *size, *procs, r.Elapsed, r.Checksum, want)
 	case "mergesort":
 		cfg := apps.DefaultMergeSortConfig(*procs)
@@ -56,7 +72,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("mergesort %d words on %d procs: %v (sorted=%v)\n\n",
+		elapsed = r.Elapsed
+		header = fmt.Sprintf("mergesort %d words on %d procs: %v (sorted=%v)",
 			cfg.Words, *procs, r.Elapsed, r.Sorted)
 	case "backprop":
 		cfg := apps.DefaultBackpropConfig(*procs)
@@ -67,7 +84,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("backprop %d epochs on %d procs: %v (SSE %.3f -> %.3f)\n\n",
+		elapsed = r.Elapsed
+		header = fmt.Sprintf("backprop %d epochs on %d procs: %v (SSE %.3f -> %.3f)",
 			cfg.Epochs, *procs, r.Elapsed, r.InitialSSE, r.FinalSSE)
 	case "anecdote":
 		cfg := apps.DefaultAnecdoteConfig(*procs)
@@ -75,45 +93,107 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if err := metrics.CheckConservation(r.Accounts); err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			// The anecdote boots its own kernel; report on that one.
+			mr := metrics.BuildReport("anecdote", *procs, r.Elapsed, r.Accounts, r.Report)
+			if err := metrics.WriteJSON(os.Stdout, mr); err != nil {
+				fail(err)
+			}
+			return
+		}
 		fmt.Printf("anecdote on %d procs: %v (size page frozen: %v)\n",
 			*procs, r.Elapsed, r.SizeFrozen)
 		fmt.Println("(anecdote boots its own kernel; report below is for the unused default kernel)")
+		elapsed = r.Elapsed
 	default:
 		fail(fmt.Errorf("unknown app %q", *app))
 	}
 
-	report := pl.K.Report()
-	if *top > 0 && len(report.Pages) > *top {
-		report.Pages = report.Pages[:*top]
-	}
-	if _, err := report.WriteTo(os.Stdout); err != nil {
+	accounts := pl.K.NodeAccounts()
+	if err := metrics.CheckConservation(accounts); err != nil {
 		fail(err)
 	}
-	// ATC summary.
-	var hits, misses int64
-	for _, a := range report.ATC {
-		hits += a.Hits
-		misses += a.Misses
-	}
-	if hits+misses > 0 {
-		fmt.Printf("\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
-			hits, misses, 100*float64(hits)/float64(hits+misses))
-	}
-	if *trace > 0 {
-		events, dropped := pl.K.Trace()
-		fmt.Println()
-		if _, err := trc.Summarize(events, dropped).WriteTo(os.Stdout); err != nil {
+	report := pl.K.Report()
+
+	if *jsonOut {
+		mr := metrics.BuildReport(*app, *procs, elapsed, accounts, report)
+		if *top > 0 && len(mr.Pages) > *top {
+			mr.Pages = mr.Pages[:*top]
+		}
+		if err := metrics.WriteJSON(os.Stdout, mr); err != nil {
 			fail(err)
 		}
-		fmt.Println("busiest pages (faults, moves, freeze cycles, ping-pong runs):")
-		pages := trc.ByPage(events)
-		if len(pages) > 8 {
-			pages = pages[:8]
+	} else {
+		if header != "" {
+			fmt.Println(header)
+			fmt.Println()
 		}
-		for _, h := range pages {
-			fmt.Printf("  cpage %-5d faults=%-5d moves=%-5d cycles=%-3d pingpong=%d\n",
-				h.Cpage, h.Faults, h.Moves, h.FreezeCycles, h.PingPongRuns)
+		if *top > 0 && len(report.Pages) > *top {
+			report.Pages = report.Pages[:*top]
 		}
+		if _, err := report.WriteTo(os.Stdout); err != nil {
+			fail(err)
+		}
+		writeBreakdown(pl.K.TotalAccount())
+		// ATC summary.
+		var hits, misses int64
+		for _, a := range report.ATC {
+			hits += a.Hits
+			misses += a.Misses
+		}
+		if hits+misses > 0 {
+			fmt.Printf("\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses))
+		}
+	}
+
+	if *trace > 0 {
+		events, dropped := pl.K.Trace()
+		if *timeline != "" {
+			f, err := os.Create(*timeline)
+			if err != nil {
+				fail(err)
+			}
+			if err := metrics.WriteTimelineJSONL(f, events, sim.Time(*bucket)); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		if !*jsonOut {
+			fmt.Println()
+			if _, err := trc.Summarize(events, dropped).WriteTo(os.Stdout); err != nil {
+				fail(err)
+			}
+			fmt.Println("busiest pages (faults, moves, freeze cycles, ping-pong runs):")
+			pages := trc.ByPage(events)
+			if len(pages) > 8 {
+				pages = pages[:8]
+			}
+			for _, h := range pages {
+				fmt.Printf("  cpage %-5d faults=%-5d moves=%-5d cycles=%-3d pingpong=%d\n",
+					h.Cpage, h.Faults, h.Moves, h.FreezeCycles, h.PingPongRuns)
+			}
+		}
+	}
+}
+
+// writeBreakdown prints the machine-wide per-cause time table.
+func writeBreakdown(a sim.Account) {
+	total := a.Total()
+	if total == 0 {
+		return
+	}
+	fmt.Printf("\ncost breakdown (total %v across all processors):\n", total)
+	for c := sim.Cause(0); c < sim.NumCauses; c++ {
+		if a[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-15v %14v %6.1f%%\n", c, a[c], 100*float64(a[c])/float64(total))
 	}
 }
 

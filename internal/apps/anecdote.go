@@ -44,7 +44,9 @@ func DefaultAnecdoteConfig(threads int) AnecdoteConfig {
 // AnecdoteResult reports a run.
 type AnecdoteResult struct {
 	Elapsed    sim.Time
-	SizeFrozen bool // was the matrix-size page frozen at the end?
+	SizeFrozen bool          // was the matrix-size page frozen at the end?
+	Accounts   []sim.Account // per-processor cost breakdown
+	Report     core.Report   // the §4.2 kernel report for the run
 }
 
 // RunAnecdote executes the workload and reports elapsed time plus the
@@ -115,5 +117,7 @@ func RunAnecdote(cfg AnecdoteConfig) (AnecdoteResult, error) {
 	return AnecdoteResult{
 		Elapsed:    k.Now(),
 		SizeFrozen: o.Cpage(0).Frozen(),
+		Accounts:   k.NodeAccounts(),
+		Report:     k.Report(),
 	}, nil
 }

@@ -49,6 +49,9 @@ type Platform interface {
 	Run() error
 	// Elapsed returns the virtual time consumed so far.
 	Elapsed() sim.Time
+	// Accounts returns the per-processor cost breakdown accumulated so
+	// far (virtual time by cause; see sim.Account).
+	Accounts() []sim.Account
 }
 
 // PlatinumPlatform runs programs on a booted PLATINUM kernel, all
@@ -86,6 +89,9 @@ func (p *PlatinumPlatform) Run() error { return p.K.Run() }
 // Elapsed implements Platform.
 func (p *PlatinumPlatform) Elapsed() sim.Time { return p.K.Now() }
 
+// Accounts implements Platform.
+func (p *PlatinumPlatform) Accounts() []sim.Account { return p.K.NodeAccounts() }
+
 // UMAPlatform runs programs on the Sequent-class UMA machine.
 type UMAPlatform struct {
 	M *uma.Machine
@@ -118,6 +124,9 @@ func (p *UMAPlatform) Run() error { return p.M.Run() }
 
 // Elapsed implements Platform.
 func (p *UMAPlatform) Elapsed() sim.Time { return p.M.Engine().Now() }
+
+// Accounts implements Platform.
+func (p *UMAPlatform) Accounts() []sim.Account { return p.M.Engine().NodeAccounts() }
 
 // Placer is implemented by platforms that support static page
 // placement (PLATINUM; the UMA machine has no page placement).

@@ -132,7 +132,7 @@ func (cm *Cmap) Remove(t *sim.Thread, proc int, vpn int64) error {
 		}
 	}
 	delete(cm.entries, vpn)
-	t.Advance(d)
+	t.Charge(sim.CauseShootdown, d)
 	return nil
 }
 
@@ -161,7 +161,9 @@ func (cm *Cmap) Activate(t *sim.Thread, proc int) {
 	}
 	cm.msgs = out
 	if cost > 0 && t != nil {
-		t.Advance(cost)
+		// Applying queued shootdown messages on activation is the lazy
+		// half of the shootdown protocol's cost.
+		t.Charge(sim.CauseShootdown, cost)
 	}
 }
 

@@ -45,6 +45,7 @@ const (
 // Allows reports whether r grants everything in want.
 func (r Rights) Allows(want Rights) bool { return r&want == want }
 
+// String renders the rights as a compact r/w/rw tag for reports.
 func (r Rights) String() string {
 	switch r {
 	case 0:
@@ -69,6 +70,7 @@ type ErrProtection struct {
 	Grant Rights
 }
 
+// Error describes the violated access in terms of the Cmap grant.
 func (e *ErrProtection) Error() string {
 	return fmt.Sprintf("core: protection violation: proc %d vpn %d wants %v, granted %v",
 		e.Proc, e.VPN, e.Want, e.Grant)
@@ -78,6 +80,7 @@ func (e *ErrProtection) Error() string {
 // has a free frame.
 type ErrNoMemory struct{ VPN int64 }
 
+// Error names the virtual page that could not be materialized.
 func (e *ErrNoMemory) Error() string {
 	return fmt.Sprintf("core: out of physical memory materializing vpn %d", e.VPN)
 }
@@ -89,6 +92,7 @@ type ErrUnmapped struct {
 	VPN  int64
 }
 
+// Error names the processor and unbound virtual page.
 func (e *ErrUnmapped) Error() string {
 	return fmt.Sprintf("core: proc %d touched unmapped vpn %d", e.Proc, e.VPN)
 }
@@ -195,6 +199,21 @@ type System struct {
 	penalty   []sim.Time // deferred interrupt-handling cost per processor
 	homeNext  int        // round-robin default home module for new cpages
 	shootSeqs int64      // shootdowns issued (stats)
+
+	// fc collects the classifiable components of the fault currently
+	// being handled, for exact cost attribution (see fault.go). The
+	// handler runs without yielding, and the engine executes one thread
+	// at a time, so a single scratch record suffices.
+	fc faultCosts
+}
+
+// faultCosts is the per-fault cost decomposition scratch record: the
+// components of one fault's total latency that are not generic handler
+// overhead. Whatever remains is attributed to sim.CauseFault.
+type faultCosts struct {
+	queue sim.Time // waiting on the Cpage handler lock
+	shoot sim.Time // shootdown: posts, syncs, dispatches, frame frees
+	xfer  sim.Time // hardware block transfers (incl. module queueing)
 }
 
 // NewSystem builds a coherent memory system on machine m.

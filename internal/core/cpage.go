@@ -23,6 +23,8 @@ const (
 	Modified
 )
 
+// String returns the protocol-state name used in reports ("present+"
+// for PresentMany, matching the paper's notation).
 func (st State) String() string {
 	switch st {
 	case Empty:
@@ -56,6 +58,13 @@ type CpageStats struct {
 	Freezes       int64    // times the policy froze the page
 	Thaws         int64    // times the defrost daemon thawed it
 	HandlerWait   sim.Time // time faults spent queued on the handler lock
+
+	// FaultTime is the total virtual time faults on this page took to
+	// resolve (entry to map install, including lock queueing, shootdown
+	// and block transfer) — the per-page cost attribution behind the
+	// "most expensive pages" ranking. A page with few faults but large
+	// FaultTime is suffering contention or serialized transfers.
+	FaultTime sim.Time
 }
 
 // Faults returns the total coherent fault count.

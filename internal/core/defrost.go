@@ -43,7 +43,7 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		thawed++
 	}
 	if delay > 0 {
-		t.Advance(delay)
+		t.Charge(sim.CauseShootdown, delay)
 	}
 	return thawed
 }
@@ -82,7 +82,7 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 		thawed++
 	}
 	if delay > 0 {
-		t.Advance(delay)
+		t.Charge(sim.CauseShootdown, delay)
 	}
 	return thawed, next
 }
@@ -100,9 +100,10 @@ func (s *System) StartDefrostDaemon(proc int) *sim.Thread {
 		return nil
 	}
 	t := s.machine.Engine().Spawn("defrost-daemon", func(th *sim.Thread) {
+		th.BindNode(proc)
 		if !s.cfg.AdaptiveDefrost {
 			for {
-				th.Advance(period)
+				th.Charge(sim.CauseSync, period)
 				s.DefrostSweep(th, proc)
 			}
 		}
@@ -120,7 +121,7 @@ func (s *System) StartDefrostDaemon(proc int) *sim.Thread {
 					sleep = d
 				}
 			}
-			th.Advance(sleep)
+			th.Charge(sim.CauseSync, sleep)
 		}
 	})
 	t.SetDaemon(true)

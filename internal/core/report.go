@@ -32,6 +32,7 @@ type PageReport struct {
 	Freezes      int64
 	Thaws        int64
 	HandlerWait  sim.Time
+	FaultTime    sim.Time
 }
 
 // Report summarizes the memory management system's behaviour.
@@ -69,6 +70,7 @@ func (s *System) Report() Report {
 			Freezes:      cp.Stats.Freezes,
 			Thaws:        cp.Stats.Thaws,
 			HandlerWait:  cp.Stats.HandlerWait,
+			FaultTime:    cp.Stats.FaultTime,
 		})
 	}
 	sort.Slice(r.Pages, func(i, j int) bool {
@@ -94,9 +96,9 @@ func (r Report) WriteTo(w io.Writer) (int64, error) {
 		r.Policy, r.Shootdowns); err != nil {
 		return n, err
 	}
-	if err := p("%6s %-18s %-9s %3s %6s %6s %6s %6s %6s %6s %4s %4s %12s\n",
+	if err := p("%6s %-18s %-9s %3s %6s %6s %6s %6s %6s %6s %4s %4s %12s %12s\n",
 		"cpage", "label", "state", "cp", "rdflt", "wrflt", "repl",
-		"migr", "inval", "remote", "frz", "thaw", "handler-wait"); err != nil {
+		"migr", "inval", "remote", "frz", "thaw", "handler-wait", "fault-time"); err != nil {
 		return n, err
 	}
 	for _, pg := range r.Pages {
@@ -104,10 +106,10 @@ func (r Report) WriteTo(w io.Writer) (int64, error) {
 		if pg.Frozen {
 			frozen = " FROZEN"
 		}
-		if err := p("%6d %-18s %-9s %3d %6d %6d %6d %6d %6d %6d %4d %4d %12v%s\n",
+		if err := p("%6d %-18s %-9s %3d %6d %6d %6d %6d %6d %6d %4d %4d %12v %12v%s\n",
 			pg.ID, pg.Label, pg.State, pg.Copies, pg.ReadFaults,
 			pg.WriteFaults, pg.Replications, pg.Migrations, pg.Invalidated,
-			pg.RemoteMaps, pg.Freezes, pg.Thaws, pg.HandlerWait, frozen); err != nil {
+			pg.RemoteMaps, pg.Freezes, pg.Thaws, pg.HandlerWait, pg.FaultTime, frozen); err != nil {
 			return n, err
 		}
 	}

@@ -24,6 +24,8 @@ const (
 	EvThaw
 )
 
+// String returns the hyphenated event name used in trace listings and
+// the timeline JSONL export (e.g. "read-fault").
 func (k EventKind) String() string {
 	switch k {
 	case EvReadFault:

@@ -48,7 +48,7 @@ func (fx *opsFixture) measureOp(setup, op func(th *sim.Thread)) (sim.Time, error
 		if setup != nil {
 			setup(th)
 		}
-		th.Advance(3 * core.DefaultT1) // quiet period
+		th.Charge(sim.CauseSync, 3*core.DefaultT1) // quiet period
 		start := th.Now()
 		op(th)
 		cost = th.Now() - start
@@ -144,7 +144,7 @@ func runBasicOps(o Options) (*Table, error) {
 		return fx.measureOp(
 			func(th *sim.Thread) {
 				_ = fx.touch(th, 0, 0, false)
-				th.Advance(3 * core.DefaultT1)
+				th.Charge(sim.CauseSync, 3*core.DefaultT1)
 				_ = fx.touch(th, 1, 0, false)
 			},
 			func(th *sim.Thread) { _ = fx.touch(th, 0, 0, true) },
@@ -162,7 +162,7 @@ func runBasicOps(o Options) (*Table, error) {
 			return fx.measureOp(
 				func(th *sim.Thread) {
 					_ = fx.touch(th, 0, 0, false)
-					th.Advance(3 * core.DefaultT1)
+					th.Charge(sim.CauseSync, 3*core.DefaultT1)
 					for r := 1; r <= readers; r++ {
 						_ = fx.touch(th, r, 0, false)
 					}

@@ -175,4 +175,5 @@ func procSweep(o Options) []int {
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func itoa(v int) string   { return fmt.Sprintf("%d", v) }

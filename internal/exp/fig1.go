@@ -8,6 +8,7 @@ import (
 	"platinum/internal/core"
 	"platinum/internal/kernel"
 	"platinum/internal/mach"
+	"platinum/internal/metrics"
 	"platinum/internal/model"
 	"platinum/internal/sim"
 )
@@ -52,38 +53,66 @@ func gaussKernelConfig(pageWords int) kernel.Config {
 	return cfg
 }
 
-// runGaussAt runs one Gaussian elimination and returns elapsed time.
-func runGaussAt(o Options, procs int, variant string, srcSel core.SourceSelection) (sim.Time, error) {
+// runGaussAt runs one Gaussian elimination and returns the elapsed
+// time plus the machine-wide cost breakdown, after verifying the
+// attribution conservation invariant.
+func runGaussAt(o Options, procs int, variant string, srcSel core.SourceSelection) (sim.Time, sim.Account, error) {
 	n, pw := gaussSize(o)
 	cfg := apps.DefaultGaussConfig(n, procs)
 	kcfg := gaussKernelConfig(pw)
 	kcfg.Core.SourceSelection = srcSel
+	var pl *apps.PlatinumPlatform
+	var elapsed sim.Time
+	var err error
 	switch variant {
 	case "platinum":
-		pl, err := apps.NewPlatinumPlatform(kcfg)
-		if err != nil {
-			return 0, err
+		if pl, err = apps.NewPlatinumPlatform(kcfg); err == nil {
+			var r apps.GaussResult
+			r, err = apps.RunGaussPlatinum(pl, cfg)
+			elapsed = r.Elapsed
 		}
-		r, err := apps.RunGaussPlatinum(pl, cfg)
-		return r.Elapsed, err
 	case "uniform":
 		ucfg := baseline.UniformSystemConfig()
 		ucfg.Machine.PageWords = pw
-		pl, err := apps.NewPlatinumPlatform(ucfg)
-		if err != nil {
-			return 0, err
+		if pl, err = apps.NewPlatinumPlatform(ucfg); err == nil {
+			var r apps.GaussResult
+			r, err = apps.RunGaussUniform(pl, cfg)
+			elapsed = r.Elapsed
 		}
-		r, err := apps.RunGaussUniform(pl, cfg)
-		return r.Elapsed, err
 	case "smp":
-		pl, err := apps.NewPlatinumPlatform(kcfg)
-		if err != nil {
-			return 0, err
+		if pl, err = apps.NewPlatinumPlatform(kcfg); err == nil {
+			var r apps.GaussResult
+			r, err = apps.RunGaussSMP(pl, cfg)
+			elapsed = r.Elapsed
 		}
-		r, err := apps.RunGaussSMP(pl, cfg)
-		return r.Elapsed, err
+	default:
+		return 0, sim.Account{}, fmt.Errorf("exp: unknown gauss variant %q", variant)
 	}
-	return 0, fmt.Errorf("exp: unknown gauss variant %q", variant)
+	if err != nil {
+		return 0, sim.Account{}, err
+	}
+	accts := pl.Accounts()
+	if err := metrics.CheckConservation(accts); err != nil {
+		return 0, sim.Account{}, err
+	}
+	return elapsed, total(accts), nil
+}
+
+// total sums per-node accounts into the machine-wide breakdown.
+func total(accts []sim.Account) sim.Account {
+	var a sim.Account
+	for i := range accts {
+		a.Add(&accts[i])
+	}
+	return a
+}
+
+// fracs formats an account's remote-access and fault-overhead (fault +
+// shootdown) fractions of total time — the two cost columns every
+// speedup table carries.
+func fracs(a sim.Account) (remote, fault string) {
+	b := metrics.FromAccount(a)
+	return f3(b.RemoteFraction()), f3(b.FaultFraction())
 }
 
 func runFig1(o Options) (*Table, error) {
@@ -91,16 +120,19 @@ func runFig1(o Options) (*Table, error) {
 	t := &Table{
 		ID:     "fig1",
 		Title:  fmt.Sprintf("Gaussian elimination speedup, %dx%d (integer), %d-word pages", n, n, pw),
-		Header: []string{"procs", "elapsed", "speedup"},
+		Header: []string{"procs", "elapsed", "speedup", "remote-frac", "fault-frac"},
 		Notes: []string{
 			"paper (800x800, 16 procs): speedup 13.5",
+			"remote-frac: share of total time in remote word accesses;",
+			"fault-frac: share in fault handling + shootdown",
 		},
 	}
 	procs := procSweep(o)
 	elapsed := make([]sim.Time, len(procs))
+	accts := make([]sim.Account, len(procs))
 	err := forEach(o, len(procs), func(i int) error {
-		el, err := runGaussAt(o, procs[i], "platinum", core.SourceFirstCopy)
-		elapsed[i] = el
+		el, a, err := runGaussAt(o, procs[i], "platinum", core.SourceFirstCopy)
+		elapsed[i], accts[i] = el, a
 		return err
 	})
 	if err != nil {
@@ -108,8 +140,10 @@ func runFig1(o Options) (*Table, error) {
 	}
 	base := elapsed[0] // procSweep always starts at 1 processor
 	for i, p := range procs {
+		remote, fault := fracs(accts[i])
 		t.Rows = append(t.Rows, []string{
 			itoa(p), elapsed[i].String(), f2(float64(base) / float64(elapsed[i])),
+			remote, fault,
 		})
 	}
 	return t, nil
@@ -137,7 +171,7 @@ func runGaussCompare(o Options) (*Table, error) {
 	elapsed := make([]sim.Time, len(variants)*len(procs))
 	err := forEach(o, len(elapsed), func(i int) error {
 		v, p := variants[i/len(procs)], procs[i%len(procs)]
-		el, err := runGaussAt(o, p, v.id, core.SourceFirstCopy)
+		el, _, err := runGaussAt(o, p, v.id, core.SourceFirstCopy)
 		if err != nil {
 			return fmt.Errorf("%s p=%d: %w", v.id, p, err)
 		}
@@ -172,7 +206,7 @@ func runReplSource(o Options) (*Table, error) {
 	sels := []core.SourceSelection{core.SourceFirstCopy, core.SourceLeastLoaded}
 	elapsed := make([]sim.Time, len(sels))
 	err := forEach(o, len(sels), func(i int) error {
-		el, err := runGaussAt(o, 16, "platinum", sels[i])
+		el, _, err := runGaussAt(o, 16, "platinum", sels[i])
 		elapsed[i] = el
 		return err
 	})

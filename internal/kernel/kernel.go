@@ -131,6 +131,16 @@ func (k *Kernel) Now() sim.Time { return k.engine.Now() }
 // Report returns the coherent memory system's post-mortem report.
 func (k *Kernel) Report() core.Report { return k.sys.Report() }
 
+// NodeAccounts returns the per-processor cost breakdown: virtual time
+// by cause, accumulated for every thread while bound to each node.
+// Every kernel thread is bound to its processor, so this is the exact
+// per-processor decomposition of where simulated time went.
+func (k *Kernel) NodeAccounts() []sim.Account { return k.engine.NodeAccounts() }
+
+// TotalAccount returns the machine-wide cost breakdown (the sum of
+// NodeAccounts).
+func (k *Kernel) TotalAccount() sim.Account { return k.engine.TotalAccount() }
+
 // Space is an address space handle with allocation helpers.
 type Space struct {
 	k  *Kernel

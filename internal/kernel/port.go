@@ -49,7 +49,7 @@ func (p *Port) msgCost(words int) sim.Time {
 // if any. The send-side kernel cost is charged to t.
 func (t *Thread) Send(p *Port, data []uint32) {
 	msg := append([]uint32(nil), data...)
-	t.st.Advance(p.msgCost(len(msg)))
+	t.st.Charge(sim.CauseKernel, p.msgCost(len(msg)))
 	if len(p.recvQ) > 0 {
 		r := p.recvQ[0]
 		p.recvQ = p.recvQ[1:]
@@ -66,7 +66,7 @@ func (t *Thread) Receive(p *Port) []uint32 {
 	if len(p.msgs) > 0 {
 		msg := p.msgs[0]
 		p.msgs = p.msgs[1:]
-		t.st.Advance(p.msgCost(len(msg)))
+		t.st.Charge(sim.CauseKernel, p.msgCost(len(msg)))
 		return msg
 	}
 	p.recvQ = append(p.recvQ, t)
@@ -76,6 +76,6 @@ func (t *Thread) Receive(p *Port) []uint32 {
 	}
 	msg := t.inbox[0]
 	t.inbox = t.inbox[1:]
-	t.st.Advance(p.msgCost(len(msg)))
+	t.st.Charge(sim.CauseKernel, p.msgCost(len(msg)))
 	return msg
 }

@@ -132,6 +132,6 @@ func (e *EventCount) Await(t *Thread, target uint32) uint32 {
 func (e *EventCount) Read(t *Thread) uint32 { return t.Read(e.va) }
 
 // Sleep advances the thread's virtual clock by d without touching
-// memory (a convenience re-export of Compute with clearer intent for
-// timed waits).
-func (t *Thread) Sleep(d sim.Time) { t.st.Advance(d) }
+// memory — like Compute, but the time is attributed as a timed
+// synchronization wait rather than useful work.
+func (t *Thread) Sleep(d sim.Time) { t.st.Charge(sim.CauseSync, d) }

@@ -33,6 +33,7 @@ func (k *Kernel) Spawn(name string, proc int, sp *Space, body func(*Thread)) *Th
 	}
 	t := &Thread{k: k, proc: proc, space: sp}
 	t.st = k.engine.Spawn(name, func(st *sim.Thread) {
+		st.BindNode(t.proc)
 		sp.vs.Cmap().Activate(st, t.proc)
 		defer func() {
 			sp.vs.Cmap().Deactivate(t.proc)
@@ -62,7 +63,7 @@ func (t *Thread) Now() sim.Time { return t.st.Now() }
 // Compute charges d of pure processor time (no memory traffic) to the
 // thread — the cost of register-level computation between memory
 // references.
-func (t *Thread) Compute(d sim.Time) { t.st.Advance(d) }
+func (t *Thread) Compute(d sim.Time) { t.st.Charge(sim.CauseCompute, d) }
 
 // Sim returns the underlying simulation thread.
 func (t *Thread) Sim() *sim.Thread { return t.st }
@@ -79,9 +80,11 @@ func (t *Thread) Migrate(proc int) {
 	}
 	old := t.proc
 	t.space.vs.Cmap().Deactivate(old)
-	t.st.Advance(t.k.cfg.MigrateOverhead)
+	t.st.Charge(sim.CauseKernel, t.k.cfg.MigrateOverhead)
 	t.k.machine.BlockTransfer(t.st, old, proc, t.k.PageWords())
 	t.proc = proc
+	// Future charges accrue to the new processor; history stays put.
+	t.st.BindNode(proc)
 	t.space.vs.Cmap().Activate(t.st, proc)
 }
 
@@ -222,7 +225,7 @@ func (t *Thread) SpinWait(va int64, pred func(uint32) bool) uint32 {
 		if pred(v) {
 			return v
 		}
-		t.st.Advance(backoff)
+		t.st.Charge(sim.CauseSync, backoff)
 		if backoff < t.k.cfg.SpinPollMax {
 			backoff *= 2
 			if backoff > t.k.cfg.SpinPollMax {

@@ -211,7 +211,10 @@ func (m *Machine) wordCost(proc, mod, n int, write bool) (lat, occ sim.Time) {
 
 // Access charges thread t for n word accesses from processor proc to
 // memory module mod, queueing at the module if it is busy. It returns
-// the total delay experienced (queueing + latency).
+// the total delay experienced (queueing + latency). The latency is
+// attributed to CauseLocalAccess or CauseRemoteAccess and the queueing
+// delay to CauseQueue, so the cost breakdown separates reference cost
+// from module contention.
 func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 	if n <= 0 {
 		return 0
@@ -228,6 +231,12 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 	mm.Words += int64(n)
 	mm.QueueWait += queue
 	mm.BusyTime += occ
+	cause := sim.CauseRemoteAccess
+	if proc == mod {
+		cause = sim.CauseLocalAccess
+	}
+	t.Attribute(sim.CauseQueue, queue)
+	t.Attribute(cause, lat)
 	total := queue + lat
 	t.Advance(total)
 	return total
@@ -299,6 +308,10 @@ func (m *Machine) blockTransferAt(t *sim.Thread, now sim.Time, src, dst, words i
 	}
 	total := queue + dur
 	if advance {
+		// Charged directly to a thread (thread migration): the queueing
+		// for busy modules is contention, the transfer itself T_b cost.
+		t.Attribute(sim.CauseQueue, queue)
+		t.Attribute(sim.CauseBlockTransfer, dur)
 		t.Advance(total)
 	}
 	return total

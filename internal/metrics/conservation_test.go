@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"testing"
+
+	"platinum/internal/apps"
+	"platinum/internal/kernel"
+	"platinum/internal/sim"
+	"platinum/internal/uma"
+)
+
+// End-to-end conservation: after a real application run, every
+// processor's per-cause breakdown must sum to exactly the virtual time
+// its threads consumed — zero unattributed time, no negative slot.
+// This is the invariant that catches a latency charged anywhere in
+// core/mach/kernel without a cause tag.
+
+// sumCauses adds the individual cause fields of a Breakdown (not
+// TotalNs, which is computed independently from the account).
+func sumCauses(b Breakdown) int64 {
+	return b.UnattributedNs + b.ComputeNs + b.LocalAccessNs + b.RemoteAccessNs +
+		b.BlockTransferNs + b.FaultNs + b.ShootdownNs + b.QueueNs +
+		b.SyncNs + b.KernelNs
+}
+
+func checkRun(t *testing.T, name string, accts []sim.Account) {
+	t.Helper()
+	if err := CheckConservation(accts); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var machineTotal int64
+	for n, a := range accts {
+		b := FromAccount(a)
+		if got := sumCauses(b); got != b.TotalNs {
+			t.Errorf("%s node %d: causes sum to %d, total is %d", name, n, got, b.TotalNs)
+		}
+		machineTotal += b.TotalNs
+	}
+	if machineTotal == 0 {
+		t.Fatalf("%s: no time accounted at all", name)
+	}
+}
+
+func TestConservationGauss8(t *testing.T) {
+	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apps.DefaultGaussConfig(64, 8)
+	r, err := apps.RunGaussPlatinum(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checksum != apps.GaussReferenceChecksum(cfg) {
+		t.Fatal("gauss result wrong; accounting test would be meaningless")
+	}
+	checkRun(t, "gauss", pl.Accounts())
+
+	// The structured report carries the same exact breakdown.
+	rep := BuildReport("gauss", 8, r.Elapsed, pl.Accounts(), pl.K.Report())
+	if rep.Total.UnattributedNs != 0 {
+		t.Errorf("report total has %d unattributed ns", rep.Total.UnattributedNs)
+	}
+	if got := sumCauses(rep.Total); got != rep.Total.TotalNs {
+		t.Errorf("report total causes sum to %d, total is %d", got, rep.Total.TotalNs)
+	}
+}
+
+func TestConservationMergeSort(t *testing.T) {
+	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apps.DefaultMergeSortConfig(8)
+	cfg.Words = 1 << 13
+	r, err := apps.RunMergeSort(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sorted {
+		t.Fatal("merge sort output unsorted; accounting test would be meaningless")
+	}
+	checkRun(t, "mergesort", pl.Accounts())
+}
+
+// The UMA comparison machine attributes its costs too.
+func TestConservationMergeSortUMA(t *testing.T) {
+	pl, err := apps.NewUMAPlatform(uma.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apps.DefaultMergeSortConfig(8)
+	cfg.Words = 1 << 12
+	r, err := apps.RunMergeSort(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sorted {
+		t.Fatal("merge sort output unsorted")
+	}
+	checkRun(t, "mergesort-uma", pl.Accounts())
+}

@@ -1,0 +1,235 @@
+// Package metrics defines the stable, machine-readable export schemas
+// for the simulator's cost-attribution data: the per-cause time
+// breakdowns accumulated by internal/sim, the per-page statistics from
+// internal/core's kernel report (§4.2), and time-bucketed protocol
+// timelines from internal/trace. It is the structured counterpart of
+// the human-readable tables — §9's "instrumentation for performance
+// monitoring, analysis, and visualization" as JSON instead of text.
+//
+// Schema stability: every document carries SchemaVersion. Fields are
+// only ever added, never renamed or removed, within a version; a
+// golden-file test pins the exact encoding. Durations are int64
+// nanoseconds of virtual time with an `_ns` suffix.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"platinum/internal/core"
+	"platinum/internal/sim"
+	"platinum/internal/trace"
+)
+
+// SchemaVersion identifies the JSON schema emitted by this package.
+// Bump only on an incompatible change (rename/removal/semantic shift);
+// additive fields do not bump it.
+const SchemaVersion = 1
+
+// Breakdown is virtual time decomposed by cause — the JSON form of a
+// sim.Account. TotalNs is the exact sum of the per-cause fields; the
+// conservation invariant (CheckConservation) guarantees it equals the
+// total virtual time consumed, with UnattributedNs == 0.
+type Breakdown struct {
+	TotalNs         int64 `json:"total_ns"`
+	UnattributedNs  int64 `json:"unattributed_ns"`
+	ComputeNs       int64 `json:"compute_ns"`
+	LocalAccessNs   int64 `json:"local_access_ns"`
+	RemoteAccessNs  int64 `json:"remote_access_ns"`
+	BlockTransferNs int64 `json:"block_transfer_ns"`
+	FaultNs         int64 `json:"fault_ns"`
+	ShootdownNs     int64 `json:"shootdown_ns"`
+	QueueNs         int64 `json:"queue_ns"`
+	SyncNs          int64 `json:"sync_ns"`
+	KernelNs        int64 `json:"kernel_ns"`
+}
+
+// FromAccount converts a sim.Account into its JSON schema form.
+func FromAccount(a sim.Account) Breakdown {
+	return Breakdown{
+		TotalNs:         int64(a.Total()),
+		UnattributedNs:  int64(a[sim.CauseUnattributed]),
+		ComputeNs:       int64(a[sim.CauseCompute]),
+		LocalAccessNs:   int64(a[sim.CauseLocalAccess]),
+		RemoteAccessNs:  int64(a[sim.CauseRemoteAccess]),
+		BlockTransferNs: int64(a[sim.CauseBlockTransfer]),
+		FaultNs:         int64(a[sim.CauseFault]),
+		ShootdownNs:     int64(a[sim.CauseShootdown]),
+		QueueNs:         int64(a[sim.CauseQueue]),
+		SyncNs:          int64(a[sim.CauseSync]),
+		KernelNs:        int64(a[sim.CauseKernel]),
+	}
+}
+
+// RemoteFraction returns the share of total time spent on remote word
+// accesses — the cost coherent memory exists to avoid (§2). Zero when
+// the breakdown is empty.
+func (b Breakdown) RemoteFraction() float64 {
+	if b.TotalNs == 0 {
+		return 0
+	}
+	return float64(b.RemoteAccessNs) / float64(b.TotalNs)
+}
+
+// FaultFraction returns the share of total time spent in coherency
+// overhead: fault handling plus shootdown (§3.3, §4). Zero when the
+// breakdown is empty.
+func (b Breakdown) FaultFraction() float64 {
+	if b.TotalNs == 0 {
+		return 0
+	}
+	return float64(b.FaultNs+b.ShootdownNs) / float64(b.TotalNs)
+}
+
+// NodeBreakdown is one node's (processor's) cost breakdown.
+type NodeBreakdown struct {
+	Node int `json:"node"`
+	Breakdown
+}
+
+// PageMetrics is the JSON form of one coherent page's post-mortem
+// record (core.PageReport): the §4.2 per-Cpage kernel report, extended
+// with total fault-resolution time so pages can be ranked by cost, not
+// just fault count.
+type PageMetrics struct {
+	ID            int64  `json:"id"`
+	Label         string `json:"label"`
+	State         string `json:"state"`
+	Frozen        bool   `json:"frozen"`
+	Copies        int    `json:"copies"`
+	ReadFaults    int64  `json:"read_faults"`
+	WriteFaults   int64  `json:"write_faults"`
+	Replications  int64  `json:"replications"`
+	Migrations    int64  `json:"migrations"`
+	Invalidations int64  `json:"invalidations"`
+	RemoteMaps    int64  `json:"remote_maps"`
+	Freezes       int64  `json:"freezes"`
+	Thaws         int64  `json:"thaws"`
+	HandlerWaitNs int64  `json:"handler_wait_ns"`
+	FaultTimeNs   int64  `json:"fault_time_ns"`
+}
+
+// FromPageReport converts one core.PageReport.
+func FromPageReport(p core.PageReport) PageMetrics {
+	return PageMetrics{
+		ID:            p.ID,
+		Label:         p.Label,
+		State:         p.State.String(),
+		Frozen:        p.Frozen,
+		Copies:        p.Copies,
+		ReadFaults:    p.ReadFaults,
+		WriteFaults:   p.WriteFaults,
+		Replications:  p.Replications,
+		Migrations:    p.Migrations,
+		Invalidations: p.Invalidated,
+		RemoteMaps:    p.RemoteMaps,
+		Freezes:       p.Freezes,
+		Thaws:         p.Thaws,
+		HandlerWaitNs: int64(p.HandlerWait),
+		FaultTimeNs:   int64(p.FaultTime),
+	}
+}
+
+// Report is the complete structured run report: run identity, the
+// machine-wide cost breakdown, the per-node breakdowns, and the
+// per-page records sorted most-expensive-first (by fault time, then
+// fault count — the ranking that surfaces a frozen pivot page at the
+// top of the list).
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	App           string          `json:"app"`
+	Policy        string          `json:"policy"`
+	Procs         int             `json:"procs"`
+	ElapsedNs     int64           `json:"elapsed_ns"`
+	Shootdowns    int64           `json:"shootdowns"`
+	Total         Breakdown       `json:"total"`
+	Nodes         []NodeBreakdown `json:"nodes"`
+	Pages         []PageMetrics   `json:"pages"`
+}
+
+// BuildReport assembles a Report from an engine's per-node accounts and
+// the core system's post-mortem report. Pages come out ranked by fault
+// time descending (ties by fault count, then id).
+func BuildReport(app string, procs int, elapsed sim.Time, nodes []sim.Account, cr core.Report) Report {
+	r := Report{
+		SchemaVersion: SchemaVersion,
+		App:           app,
+		Policy:        cr.Policy,
+		Procs:         procs,
+		ElapsedNs:     int64(elapsed),
+		Shootdowns:    cr.Shootdowns,
+		Nodes:         make([]NodeBreakdown, 0, len(nodes)),
+	}
+	var total sim.Account
+	for i := range nodes {
+		total.Add(&nodes[i])
+		r.Nodes = append(r.Nodes, NodeBreakdown{Node: i, Breakdown: FromAccount(nodes[i])})
+	}
+	r.Total = FromAccount(total)
+	for _, p := range trace.TopCost(cr, len(cr.Pages)) {
+		r.Pages = append(r.Pages, FromPageReport(p))
+	}
+	return r
+}
+
+// CheckConservation verifies the attribution invariant on a set of
+// accounts (typically Engine.NodeAccounts): every account's
+// unattributed balance must be exactly zero — a positive balance means
+// some code path charged time without classifying it, a negative slot
+// means time was attributed twice. By construction each account then
+// sums to exactly the virtual time its threads consumed.
+func CheckConservation(accts []sim.Account) error {
+	for n, a := range accts {
+		if a[sim.CauseUnattributed] != 0 {
+			return fmt.Errorf("metrics: node %d has %v unattributed time", n, a[sim.CauseUnattributed])
+		}
+		for c := sim.Cause(0); c < sim.NumCauses; c++ {
+			if a[c] < 0 {
+				return fmt.Errorf("metrics: node %d cause %v over-attributed (%v)", n, c, a[c])
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes v as indented JSON followed by a newline.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// TimelineBucket is one time slice of a per-node protocol activity
+// timeline: how many events of each kind each node generated during
+// [StartNs, StartNs+WidthNs). Event kind keys are core.EventKind
+// strings ("read-fault", "migration", ...).
+type TimelineBucket struct {
+	StartNs int64            `json:"start_ns"`
+	WidthNs int64            `json:"width_ns"`
+	Node    int              `json:"node"`
+	Events  map[string]int64 `json:"events"`
+}
+
+// WriteTimelineJSONL writes the trace's per-node time-bucketed series
+// as JSON Lines, one TimelineBucket per line, ordered by bucket start
+// then node. Empty (node, bucket) pairs are omitted, so the stream
+// size tracks activity, not elapsed time.
+func WriteTimelineJSONL(w io.Writer, events []core.Event, width sim.Time) error {
+	enc := json.NewEncoder(w)
+	for _, nb := range trace.NodeBuckets(events, width) {
+		b := TimelineBucket{
+			StartNs: int64(nb.Start),
+			WidthNs: int64(width),
+			Node:    nb.Node,
+			Events:  make(map[string]int64, len(nb.ByKind)),
+		}
+		for kind, c := range nb.ByKind {
+			b.Events[kind.String()] = int64(c)
+		}
+		if err := enc.Encode(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"platinum/internal/core"
+	"platinum/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedAccount builds a deterministic synthetic account.
+func fixedAccount(scale sim.Time) sim.Account {
+	var a sim.Account
+	a[sim.CauseCompute] = 100 * scale
+	a[sim.CauseLocalAccess] = 40 * scale
+	a[sim.CauseRemoteAccess] = 25 * scale
+	a[sim.CauseBlockTransfer] = 15 * scale
+	a[sim.CauseFault] = 10 * scale
+	a[sim.CauseShootdown] = 5 * scale
+	a[sim.CauseQueue] = 3 * scale
+	a[sim.CauseSync] = 1 * scale
+	a[sim.CauseKernel] = 1 * scale
+	return a
+}
+
+func fixedReport() Report {
+	cr := core.Report{
+		Policy:     "platinum(t1=10.000ms)",
+		Shootdowns: 42,
+		Pages: []core.PageReport{
+			{
+				ID: 7, Label: "size+lock", State: core.Modified, Frozen: true,
+				Copies: 1, ReadFaults: 120, WriteFaults: 30, Replications: 4,
+				Migrations: 2, Invalidated: 6, RemoteMaps: 90, Freezes: 1,
+				HandlerWait: 2 * sim.Millisecond, FaultTime: 40 * sim.Millisecond,
+			},
+			{
+				ID: 3, Label: "gauss-matrix[3]", State: core.PresentPlus,
+				Copies: 8, ReadFaults: 7, Replications: 7,
+				FaultTime: 11 * sim.Millisecond,
+			},
+		},
+	}
+	nodes := []sim.Account{fixedAccount(1000), fixedAccount(2000)}
+	return BuildReport("gauss", 2, 123456789, nodes, cr)
+}
+
+// The v1 JSON encoding is pinned byte-for-byte: a diff here means the
+// schema changed and consumers will break. Additive fields require
+// regenerating the golden (go test ./internal/metrics -update);
+// renames or removals require a SchemaVersion bump.
+func TestReportGoldenV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fixedReport()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report JSON drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestTimelineGoldenV1(t *testing.T) {
+	events := []core.Event{
+		{Time: 0, Kind: core.EvReadFault, Proc: 0, Cpage: 1},
+		{Time: 500, Kind: core.EvReplication, Proc: 0, Cpage: 1},
+		{Time: 1500, Kind: core.EvWriteFault, Proc: 1, Cpage: 1},
+		{Time: 1600, Kind: core.EvInvalidation, Proc: 0, Cpage: 1},
+		{Time: 1700, Kind: core.EvFreeze, Proc: -1, Cpage: 1}, // no proc: dropped
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineJSONL(&buf, events, 1000); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_v1.golden.jsonl")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline JSONL drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestBreakdownTotalsAndFractions(t *testing.T) {
+	a := fixedAccount(1)
+	b := FromAccount(a)
+	if b.TotalNs != 200 {
+		t.Fatalf("total %d, want 200", b.TotalNs)
+	}
+	if got, want := b.RemoteFraction(), 25.0/200; got != want {
+		t.Errorf("remote fraction %v, want %v", got, want)
+	}
+	if got, want := b.FaultFraction(), 15.0/200; got != want {
+		t.Errorf("fault fraction %v, want %v", got, want)
+	}
+	var zero Breakdown
+	if zero.RemoteFraction() != 0 || zero.FaultFraction() != 0 {
+		t.Errorf("zero breakdown fractions must be 0")
+	}
+}
+
+func TestCheckConservation(t *testing.T) {
+	good := []sim.Account{fixedAccount(1), {}}
+	if err := CheckConservation(good); err != nil {
+		t.Fatalf("clean accounts rejected: %v", err)
+	}
+	var leak sim.Account
+	leak[sim.CauseUnattributed] = 5
+	if err := CheckConservation([]sim.Account{leak}); err == nil {
+		t.Fatal("unattributed time not flagged")
+	}
+	var over sim.Account
+	over[sim.CauseFault] = -3
+	if err := CheckConservation([]sim.Account{over}); err == nil {
+		t.Fatal("negative slot not flagged")
+	}
+}
+
+// Pages in a built report come out most-expensive-first.
+func TestReportPagesRankedByCost(t *testing.T) {
+	r := fixedReport()
+	if len(r.Pages) != 2 {
+		t.Fatalf("want 2 pages, got %d", len(r.Pages))
+	}
+	if r.Pages[0].ID != 7 || r.Pages[1].ID != 3 {
+		t.Fatalf("pages not ranked by fault time: %v, %v", r.Pages[0].ID, r.Pages[1].ID)
+	}
+	if r.Pages[0].FaultTimeNs <= r.Pages[1].FaultTimeNs {
+		t.Fatalf("ranking violated: %d <= %d", r.Pages[0].FaultTimeNs, r.Pages[1].FaultTimeNs)
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import "testing"
+
+// Conservation by construction: a thread's account always sums to
+// exactly the virtual time it has consumed, however charges are
+// attributed (or not).
+func TestAccountConservation(t *testing.T) {
+	e := NewEngine()
+	var th *Thread
+	e.Spawn("w", func(x *Thread) {
+		th = x
+		x.Advance(100)                     // unattributed
+		x.Charge(CauseCompute, 50)         // attributed up front
+		x.Attribute(CauseRemoteAccess, 30) // classify part of the first 100
+		x.Advance(7)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := th.Account()
+	if got, want := a.Total(), th.Consumed(); got != want {
+		t.Fatalf("account total %v, consumed %v", got, want)
+	}
+	if th.Consumed() != 157 {
+		t.Fatalf("consumed %v, want 157", th.Consumed())
+	}
+	if a[CauseCompute] != 50 || a[CauseRemoteAccess] != 30 {
+		t.Fatalf("attributed slots wrong: %+v", a)
+	}
+	if a[CauseUnattributed] != 77 {
+		t.Fatalf("unattributed %v, want 77", a[CauseUnattributed])
+	}
+}
+
+// Attribution is pure bookkeeping: two identical runs, one with
+// attribution and one without, must dispatch identically and end at
+// the same virtual time.
+func TestAttributionDoesNotChangeTiming(t *testing.T) {
+	run := func(attrib bool) (Time, []string) {
+		e := NewEngine()
+		var order []string
+		body := func(name string, d Time) func(*Thread) {
+			return func(x *Thread) {
+				for i := 0; i < 4; i++ {
+					if attrib {
+						x.Charge(CauseCompute, d)
+					} else {
+						x.Advance(d)
+					}
+					order = append(order, name)
+				}
+			}
+		}
+		e.Spawn("a", body("a", 3))
+		e.Spawn("b", body("b", 5))
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), order
+	}
+	t1, o1 := run(false)
+	t2, o2 := run(true)
+	if t1 != t2 {
+		t.Fatalf("elapsed differs: %v vs %v", t1, t2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("dispatch count differs: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("dispatch order differs at %d: %s vs %s", i, o1[i], o2[i])
+		}
+	}
+}
+
+// Per-node accounts: charges follow the binding in effect at charge
+// time; history stays with the node that spent the time.
+func TestBindNodeRoutesCharges(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("w", func(x *Thread) {
+		x.BindNode(0)
+		x.Charge(CauseCompute, 10)
+		x.BindNode(2) // migrate
+		x.Charge(CauseCompute, 5)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	na := e.NodeAccounts()
+	if len(na) != 3 {
+		t.Fatalf("want 3 node accounts, got %d", len(na))
+	}
+	if na[0][CauseCompute] != 10 || na[1][CauseCompute] != 0 || na[2][CauseCompute] != 5 {
+		t.Fatalf("charges misrouted: %+v", na)
+	}
+	tot := e.TotalAccount()
+	if tot.Total() != 15 {
+		t.Fatalf("total %v, want 15", tot.Total())
+	}
+}
+
+// Unblock's clock jump (blocked time) is banked as CauseSync, keeping
+// the conservation invariant exact across Block/Unblock.
+func TestBlockedTimeIsSync(t *testing.T) {
+	e := NewEngine()
+	var blocked *Thread
+	e.Spawn("sleeper", func(x *Thread) {
+		blocked = x
+		x.BindNode(0)
+		x.Block()
+	})
+	e.Spawn("waker", func(x *Thread) {
+		x.Advance(40)
+		blocked.Unblock(x.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := blocked.Account()
+	if a[CauseSync] != 40 {
+		t.Fatalf("sync %v, want 40", a[CauseSync])
+	}
+	if a.Total() != blocked.Consumed() {
+		t.Fatalf("account total %v != consumed %v", a.Total(), blocked.Consumed())
+	}
+}
+
+// Over-attribution is visible as a negative unattributed balance, the
+// signal CheckConservation turns into an error.
+func TestOverAttributionGoesNegative(t *testing.T) {
+	e := NewEngine()
+	var th *Thread
+	e.Spawn("w", func(x *Thread) {
+		th = x
+		x.Advance(10)
+		x.Attribute(CauseFault, 25)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := th.Account()
+	if a[CauseUnattributed] != -15 {
+		t.Fatalf("unattributed %v, want -15", a[CauseUnattributed])
+	}
+	if a.Total() != th.Consumed() {
+		t.Fatalf("conservation broken: %v != %v", a.Total(), th.Consumed())
+	}
+}
+
+// Cause names are stable JSON identifiers.
+func TestCauseStrings(t *testing.T) {
+	want := map[Cause]string{
+		CauseUnattributed:  "unattributed",
+		CauseCompute:       "compute",
+		CauseLocalAccess:   "local_access",
+		CauseRemoteAccess:  "remote_access",
+		CauseBlockTransfer: "block_transfer",
+		CauseFault:         "fault",
+		CauseShootdown:     "shootdown",
+		CauseQueue:         "queue",
+		CauseSync:          "sync",
+		CauseKernel:        "kernel",
+	}
+	if len(want) != int(NumCauses) {
+		t.Fatalf("test covers %d causes, NumCauses is %d", len(want), NumCauses)
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("cause %d: %q, want %q", c, c.String(), s)
+		}
+	}
+}

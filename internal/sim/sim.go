@@ -94,6 +94,10 @@ type Engine struct {
 	// resumes of a parked thread goroutine. Exposed through Stats.
 	fastSteps int64
 	slowSteps int64
+
+	// nodeAcct accumulates per-node cost attribution for threads bound
+	// via Thread.BindNode (see account.go); grown on demand.
+	nodeAcct []Account
 }
 
 // ThreadPanicError reports a simulated thread whose body panicked — for
@@ -104,6 +108,7 @@ type ThreadPanicError struct {
 	Value  any
 }
 
+// Error reports the panicking thread's name and the recovered value.
 func (e *ThreadPanicError) Error() string {
 	return fmt.Sprintf("sim: thread %q panicked: %v", e.Thread, e.Value)
 }
@@ -174,6 +179,8 @@ func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
 		id:      e.nextID,
 		name:    name,
 		clock:   e.now,
+		born:    e.now,
+		node:    -1,
 		resume:  make(chan struct{}),
 		state:   stateReady,
 		heapIdx: -1,

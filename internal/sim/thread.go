@@ -25,6 +25,14 @@ type Thread struct {
 	resume chan struct{} // dispatcher (engine or peer thread) -> thread: run
 
 	heapIdx int // index in the ready heap, -1 if absent
+
+	// Cost attribution (see account.go): born is the clock at Spawn,
+	// acct the per-cause time consumed since, node the processor whose
+	// engine-level account also receives this thread's charges (-1:
+	// none).
+	born Time
+	acct Account
+	node int
 }
 
 // ID returns the thread's unique id, assigned in spawn order.
@@ -93,6 +101,7 @@ func (t *Thread) Advance(d Time) {
 		panic(fmt.Sprintf("sim: negative Advance(%d) by thread %q", d, t.name))
 	}
 	t.clock += d
+	t.bank(CauseUnattributed, d)
 	e := t.engine
 	if e.fastPath && e.running == t && !e.stopping {
 		top := e.ready.peek()
@@ -155,13 +164,15 @@ func (t *Thread) Block() {
 
 // Unblock makes a blocked thread runnable again with its clock advanced
 // to at least wake (a blocked thread cannot resume before the event that
-// woke it). Unblocking a thread that is not blocked is a no-op and
-// reports false.
+// woke it). The clock jump is attributed to CauseSync — it is time the
+// thread spent blocked. Unblocking a thread that is not blocked is a
+// no-op and reports false.
 func (t *Thread) Unblock(wake Time) bool {
 	if t.state != stateBlocked {
 		return false
 	}
 	if wake > t.clock {
+		t.bank(CauseSync, wake-t.clock)
 		t.clock = wake
 	}
 	t.state = stateReady

@@ -185,6 +185,79 @@ func Buckets(events []core.Event, width sim.Time) []Bucket {
 	return out
 }
 
+// NodeBucket is one (time slice, node) cell of a per-node activity
+// timeline: the protocol events node Node generated during
+// [Start, Start+width).
+type NodeBucket struct {
+	Start  sim.Time
+	Node   int
+	ByKind map[core.EventKind]int
+}
+
+// NodeBuckets slices the event stream into fixed-width time buckets
+// per node, exposing which processors drive protocol activity in each
+// phase (the per-node series behind the metrics timeline export).
+// Cells with no events are omitted; the result is ordered by bucket
+// start, then node. Events with no processor (Proc < 0) are ignored.
+func NodeBuckets(events []core.Event, width sim.Time) []NodeBucket {
+	if width <= 0 || len(events) == 0 {
+		return nil
+	}
+	type key struct {
+		bucket sim.Time
+		node   int
+	}
+	cells := make(map[key]map[core.EventKind]int)
+	for _, ev := range events {
+		if ev.Proc < 0 {
+			continue
+		}
+		k := key{bucket: ev.Time / width * width, node: ev.Proc}
+		m := cells[k]
+		if m == nil {
+			m = make(map[core.EventKind]int)
+			cells[k] = m
+		}
+		m[ev.Kind]++
+	}
+	out := make([]NodeBucket, 0, len(cells))
+	for k, m := range cells {
+		out = append(out, NodeBucket{Start: k.bucket, Node: k.node, ByKind: m})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// TopCost returns up to k pages from the kernel report ranked by total
+// fault-resolution time, descending (ties by fault count, then id) —
+// the "most expensive pages" list. Ranking by cost rather than count
+// matters when a few faults are pathologically slow: a frozen page
+// whose handler serializes contended faults rises to the top even if a
+// healthy page faults more often.
+func TopCost(r core.Report, k int) []core.PageReport {
+	pages := append([]core.PageReport(nil), r.Pages...)
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].FaultTime != pages[j].FaultTime {
+			return pages[i].FaultTime > pages[j].FaultTime
+		}
+		fi := pages[i].ReadFaults + pages[i].WriteFaults
+		fj := pages[j].ReadFaults + pages[j].WriteFaults
+		if fi != fj {
+			return fi > fj
+		}
+		return pages[i].ID < pages[j].ID
+	})
+	if k > len(pages) {
+		k = len(pages)
+	}
+	return pages[:k]
+}
+
 // HottestPages returns the ids of the k busiest pages by fault count.
 func HottestPages(events []core.Event, k int) []int64 {
 	pages := ByPage(events)

@@ -214,3 +214,49 @@ func TestEndToEndPingPongThenFreeze(t *testing.T) {
 }
 
 const time500us = 500 * sim.Microsecond
+
+func TestNodeBuckets(t *testing.T) {
+	events := []core.Event{
+		ev(100, core.EvReadFault, 0, 1),
+		ev(900, core.EvReplication, 0, 1),
+		ev(1100, core.EvWriteFault, 1, 1),
+		ev(1200, core.EvInvalidation, 0, 1),
+		ev(1300, core.EvFreeze, -1, 1), // no processor: excluded
+	}
+	nb := NodeBuckets(events, 1000)
+	if len(nb) != 3 {
+		t.Fatalf("want 3 cells, got %d: %+v", len(nb), nb)
+	}
+	// Ordered by start then node.
+	if nb[0].Start != 0 || nb[0].Node != 0 || nb[0].ByKind[core.EvReadFault] != 1 {
+		t.Errorf("cell 0 wrong: %+v", nb[0])
+	}
+	if nb[1].Start != 1000 || nb[1].Node != 0 || nb[1].ByKind[core.EvInvalidation] != 1 {
+		t.Errorf("cell 1 wrong: %+v", nb[1])
+	}
+	if nb[2].Start != 1000 || nb[2].Node != 1 || nb[2].ByKind[core.EvWriteFault] != 1 {
+		t.Errorf("cell 2 wrong: %+v", nb[2])
+	}
+	if NodeBuckets(events, 0) != nil || NodeBuckets(nil, 1000) != nil {
+		t.Error("degenerate inputs must return nil")
+	}
+}
+
+func TestTopCostRanksByFaultTime(t *testing.T) {
+	r := core.Report{Pages: []core.PageReport{
+		{ID: 1, ReadFaults: 100, FaultTime: 10},
+		{ID: 2, ReadFaults: 3, FaultTime: 500}, // few but slow faults
+		{ID: 3, ReadFaults: 50, FaultTime: 10}, // ties with 1 on time, more faults
+	}}
+	top := TopCost(r, 10)
+	if len(top) != 3 || top[0].ID != 2 || top[1].ID != 1 || top[2].ID != 3 {
+		t.Fatalf("ranking wrong: %+v", top)
+	}
+	if got := TopCost(r, 1); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("k truncation wrong: %+v", got)
+	}
+	// The input report is not reordered.
+	if r.Pages[0].ID != 1 {
+		t.Error("TopCost mutated its input")
+	}
+}

@@ -178,7 +178,10 @@ func (m *Machine) Spawn(name string, proc int, body func(*Thread)) *Thread {
 		panic(fmt.Sprintf("uma: Spawn on bad processor %d", proc))
 	}
 	t := &Thread{m: m, proc: proc}
-	t.st = m.engine.Spawn(name, func(st *sim.Thread) { body(t) })
+	t.st = m.engine.Spawn(name, func(st *sim.Thread) {
+		st.BindNode(proc)
+		body(t)
+	})
 	return t
 }
 
@@ -192,30 +195,32 @@ func (t *Thread) Proc() int { return t.proc }
 func (t *Thread) Now() sim.Time { return t.st.Now() }
 
 // Compute charges pure processor time.
-func (t *Thread) Compute(d sim.Time) { t.st.Advance(d) }
+func (t *Thread) Compute(d sim.Time) { t.st.Charge(sim.CauseCompute, d) }
 
 // Sim returns the underlying simulation thread.
 func (t *Thread) Sim() *sim.Thread { return t.st }
 
-// readCost accounts one word read at va relative to a running cursor and
-// returns the added delay.
-func (t *Thread) readCost(va int64, cur sim.Time) sim.Time {
+// readCost accounts one word read at va relative to a running cursor.
+// It returns the added delay and how much of it was queueing for the
+// bus (zero on a cache hit).
+func (t *Thread) readCost(va int64, cur sim.Time) (delay, wait sim.Time) {
 	cfg := &t.m.cfg
 	line := va / int64(cfg.LineWords)
 	c := t.m.caches[t.proc]
 	if c.lookup(line) {
-		return cfg.HitTime
+		return cfg.HitTime, 0
 	}
-	wait := t.m.bus(cur, cfg.MissBusOcc)
+	wait = t.m.bus(cur, cfg.MissBusOcc)
 	c.fill(line)
-	return wait + cfg.MissLatency
+	return wait + cfg.MissLatency, wait
 }
 
-// writeCost accounts one word written through at va.
-func (t *Thread) writeCost(va int64, cur sim.Time) sim.Time {
+// writeCost accounts one word written through at va, returning the
+// delay and its bus-queueing component.
+func (t *Thread) writeCost(va int64, cur sim.Time) (delay, wait sim.Time) {
 	cfg := &t.m.cfg
 	line := va / int64(cfg.LineWords)
-	wait := t.m.bus(cur, cfg.WriteBusOcc)
+	wait = t.m.bus(cur, cfg.WriteBusOcc)
 	// Snoop: invalidate every other cache's copy of the line.
 	for p, c := range t.m.caches {
 		if p != t.proc {
@@ -224,45 +229,57 @@ func (t *Thread) writeCost(va int64, cur sim.Time) sim.Time {
 	}
 	// Write-through no-allocate: update own copy only if resident.
 	// (lookup() would skew stats; check the tag directly.)
-	return wait + cfg.WriteLatency
+	return wait + cfg.WriteLatency, wait
+}
+
+// chargeAccess attributes and charges one burst: queueing for the bus
+// under CauseQueue, the rest as (uniform) local access latency.
+func (t *Thread) chargeAccess(d, wait sim.Time) {
+	t.st.Attribute(sim.CauseQueue, wait)
+	t.st.Attribute(sim.CauseLocalAccess, d-wait)
+	t.st.Advance(d)
 }
 
 // Read returns the word at va.
 func (t *Thread) Read(va int64) uint32 {
-	d := t.readCost(va, t.st.Now())
+	d, wait := t.readCost(va, t.st.Now())
 	v := t.m.memory[va]
-	t.st.Advance(d)
+	t.chargeAccess(d, wait)
 	return v
 }
 
 // Write stores v at va.
 func (t *Thread) Write(va int64, v uint32) {
-	d := t.writeCost(va, t.st.Now())
+	d, wait := t.writeCost(va, t.st.Now())
 	t.m.memory[va] = v
-	t.st.Advance(d)
+	t.chargeAccess(d, wait)
 }
 
 // ReadRange fills dst from va onward, charging per-word cache/bus costs
 // but advancing the clock once (the range is treated as one burst).
 func (t *Thread) ReadRange(va int64, dst []uint32) {
 	cur := t.st.Now()
-	var d sim.Time
+	var d, wait sim.Time
 	for i := range dst {
-		d += t.readCost(va+int64(i), cur+d)
+		di, wi := t.readCost(va+int64(i), cur+d)
+		d += di
+		wait += wi
 	}
 	copy(dst, t.m.memory[va:va+int64(len(dst))])
-	t.st.Advance(d)
+	t.chargeAccess(d, wait)
 }
 
 // WriteRange stores src at va onward as one burst.
 func (t *Thread) WriteRange(va int64, src []uint32) {
 	cur := t.st.Now()
-	var d sim.Time
+	var d, wait sim.Time
 	for i := range src {
-		d += t.writeCost(va+int64(i), cur+d)
+		di, wi := t.writeCost(va+int64(i), cur+d)
+		d += di
+		wait += wi
 	}
 	copy(t.m.memory[va:va+int64(len(src))], src)
-	t.st.Advance(d)
+	t.chargeAccess(d, wait)
 }
 
 // AtomicAdd performs a locked read-modify-write.
@@ -277,7 +294,7 @@ func (t *Thread) AtomicAdd(va int64, delta uint32) uint32 {
 	}
 	t.m.memory[va] += delta
 	v := t.m.memory[va]
-	t.st.Advance(wait + cfg.AtomicTime)
+	t.chargeAccess(wait+cfg.AtomicTime, wait)
 	return v
 }
 
@@ -290,7 +307,7 @@ func (t *Thread) WaitAtLeast(va int64, target uint32) uint32 {
 		if v >= target {
 			return v
 		}
-		t.st.Advance(backoff)
+		t.st.Charge(sim.CauseSync, backoff)
 		if backoff < 64*sim.Microsecond {
 			backoff *= 2
 		}

@@ -47,6 +47,7 @@ import (
 	"platinum/internal/core"
 	"platinum/internal/kernel"
 	"platinum/internal/mach"
+	"platinum/internal/metrics"
 	"platinum/internal/sim"
 )
 
@@ -79,7 +80,34 @@ type (
 	Event = core.Event
 	// EventKind classifies protocol events.
 	EventKind = core.EventKind
+	// Cause classifies why virtual time was charged to a thread.
+	Cause = sim.Cause
+	// Account is virtual time accumulated by cause (see Kernel.NodeAccounts).
+	Account = sim.Account
+	// CostBreakdown is the stable JSON form of an Account.
+	CostBreakdown = metrics.Breakdown
+	// MetricsReport is the full structured run report (schema_version 1).
+	MetricsReport = metrics.Report
 )
+
+// Cost-attribution causes (the paper's §6–§8 decomposition of where
+// execution time goes).
+const (
+	CauseUnattributed  = sim.CauseUnattributed
+	CauseCompute       = sim.CauseCompute
+	CauseLocalAccess   = sim.CauseLocalAccess
+	CauseRemoteAccess  = sim.CauseRemoteAccess
+	CauseBlockTransfer = sim.CauseBlockTransfer
+	CauseFault         = sim.CauseFault
+	CauseShootdown     = sim.CauseShootdown
+	CauseQueue         = sim.CauseQueue
+	CauseSync          = sim.CauseSync
+	CauseKernel        = sim.CauseKernel
+)
+
+// BreakdownOf converts an Account into its stable JSON schema form,
+// with RemoteFraction/FaultFraction helpers.
+func BreakdownOf(a Account) CostBreakdown { return metrics.FromAccount(a) }
 
 // Protocol trace event kinds.
 const (

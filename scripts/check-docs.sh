@@ -1,0 +1,50 @@
+#!/bin/sh
+# check-docs.sh — documentation hygiene gate, run by the CI docs job.
+#
+#   1. gofmt -l must be clean.
+#   2. Every package (the facade plus every internal package) must carry
+#      a "// Package <name> ..." comment.
+#   3. The README architecture diagram must mention every package that
+#      `go list ./internal/...` reports, so the walkthrough cannot
+#      silently drift from the tree.
+#
+# Run from the repository root: ./scripts/check-docs.sh
+set -eu
+
+fail=0
+
+# 1. Formatting.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:"
+	echo "$unformatted"
+	fail=1
+fi
+
+# 2. Package comments.
+for dir in . internal/*/; do
+	if [ "$dir" = "." ]; then
+		pkg=platinum # the facade package at the repo root
+	else
+		pkg=$(basename "$dir")
+	fi
+	if ! grep -lq "^// Package $pkg " "$dir"/*.go 2>/dev/null; then
+		echo "godoc: package $pkg ($dir) has no '// Package $pkg ...' comment"
+		fail=1
+	fi
+done
+
+# 3. README diagram covers every internal package.
+for import_path in $(go list ./internal/...); do
+	short=${import_path#platinum/}
+	if ! grep -q "$short" README.md; then
+		echo "README: architecture section does not mention $short"
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check-docs: FAILED"
+	exit 1
+fi
+echo "check-docs: OK"
