@@ -132,7 +132,10 @@ func (cm *Cmap) Remove(t *sim.Thread, proc int, vpn int64) error {
 		}
 	}
 	delete(cm.entries, vpn)
-	t.Charge(sim.CauseShootdown, d)
+	ack := cm.sys.drainInjAck()
+	t.Attribute(sim.CauseSlowAck, ack)
+	t.Attribute(sim.CauseShootdown, d-ack)
+	t.Advance(d)
 	return nil
 }
 

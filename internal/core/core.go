@@ -97,6 +97,61 @@ func (e *ErrUnmapped) Error() string {
 	return fmt.Sprintf("core: proc %d touched unmapped vpn %d", e.Proc, e.VPN)
 }
 
+// ErrInvariant reports a violated protocol invariant: the directory,
+// the inverted page table, or the protocol state of a coherent page
+// disagree with each other. It is returned both by Validate and by the
+// fault path when an operation trips an internal consistency check, so
+// a stress harness can report the violation (with the page's identity
+// and directory state) instead of the process dying on a panic.
+type ErrInvariant struct {
+	Page    int64  // coherent page id
+	State   State  // protocol state at detection time
+	DirMask uint64 // directory bitmask at detection time
+	Detail  string // which invariant broke, and how
+}
+
+// Error describes the violated invariant with the page's protocol state
+// and directory mask.
+func (e *ErrInvariant) Error() string {
+	return fmt.Sprintf("core: invariant violated on cpage %d (state %v, dirMask %b): %s",
+		e.Page, e.State, e.DirMask, e.Detail)
+}
+
+// invariantErr builds an ErrInvariant snapshotting cp's identity.
+func invariantErr(cp *Cpage, format string, args ...any) error {
+	return &ErrInvariant{
+		Page:    cp.id,
+		State:   cp.state,
+		DirMask: cp.dirMask,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+}
+
+// FaultInjector injects degraded-hardware behaviour into the coherent
+// memory system, driving the protocol through the retry and fallback
+// paths a healthy machine never exercises. All injected delays are
+// attributed to the dedicated causes sim.CauseSlowAck and
+// sim.CauseRetry, so fault-injection runs still satisfy the
+// conservation invariant. Implementations must be deterministic for a
+// given call sequence (e.g. a seeded PRNG) or simulation runs stop
+// being reproducible.
+type FaultInjector interface {
+	// AckDelay returns extra time the shootdown initiator spends
+	// synchronizing with interrupted target proc — a slow
+	// interprocessor-interrupt acknowledgement. Charged to CauseSlowAck.
+	AckDelay(initiator, target int) sim.Time
+
+	// TransferStall returns extra stall time for the hardware block
+	// transfer backing a replication or migration (a transiently busy
+	// memory module forcing the engine to retry). Charged to CauseRetry.
+	TransferStall(src, dst int) sim.Time
+
+	// FailAlloc reports whether the next frame allocation on module mod
+	// should fail, as if the pool were exhausted — driving the fault
+	// handler's remote-reference fallback paths.
+	FailAlloc(mod int) bool
+}
+
 // SourceSelection chooses which existing physical copy a replication
 // reads from.
 type SourceSelection uint8
@@ -205,6 +260,13 @@ type System struct {
 	// handler runs without yielding, and the engine executes one thread
 	// at a time, so a single scratch record suffices.
 	fc faultCosts
+
+	// inj, when set, injects degraded-hardware behaviour (see
+	// FaultInjector); injAck accumulates the injected ack delay of the
+	// shootdown currently in progress, drained by each charging site so
+	// it can be attributed to CauseSlowAck rather than CauseShootdown.
+	inj    FaultInjector
+	injAck sim.Time
 }
 
 // faultCosts is the per-fault cost decomposition scratch record: the
@@ -214,6 +276,8 @@ type faultCosts struct {
 	queue sim.Time // waiting on the Cpage handler lock
 	shoot sim.Time // shootdown: posts, syncs, dispatches, frame frees
 	xfer  sim.Time // hardware block transfers (incl. module queueing)
+	ack   sim.Time // injected slow shootdown acknowledgements
+	stall sim.Time // injected block-transfer stalls
 }
 
 // NewSystem builds a coherent memory system on machine m.
@@ -255,6 +319,21 @@ func (s *System) Config() Config { return s.cfg }
 
 // Policy returns the active replication policy.
 func (s *System) Policy() Policy { return s.cfg.Policy }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector.
+// Injection only adds delay and allocation failures; it cannot corrupt
+// protocol state, so a run with injection enabled must still pass
+// Validate at every quiescent point.
+func (s *System) SetFaultInjector(fi FaultInjector) { s.inj = fi }
+
+// drainInjAck returns and clears the injected-ack-delay balance of the
+// shootdown(s) since the last drain. Every site that charges shootdown
+// delay drains it so the balance never leaks across operations.
+func (s *System) drainInjAck() sim.Time {
+	d := s.injAck
+	s.injAck = 0
+	return d
+}
 
 // chargePenalty folds any deferred interrupt-handling cost for proc into
 // the current operation, returning the extra delay.

@@ -193,7 +193,7 @@ func TestWriteMigrationMovesPageAndData(t *testing.T) {
 			t.Errorf("migrated word = %d, want 777", got)
 		}
 		// Old copy must be gone.
-		if _, ok := cp.HasCopy(0); ok {
+		if _, ok, _ := cp.HasCopy(0); ok {
 			t.Error("module 0 still holds a copy after migration")
 		}
 		// Old owner's translation must be invalidated.
@@ -245,7 +245,7 @@ func TestWriteOnPresentPlusReclaimsRemoteCopies(t *testing.T) {
 		if len(cp.Copies()) != 1 {
 			t.Errorf("copies after write = %d, want 1", len(cp.Copies()))
 		}
-		if _, ok := cp.HasCopy(0); !ok {
+		if _, ok, _ := cp.HasCopy(0); !ok {
 			t.Error("surviving copy is not the writer's")
 		}
 		// Readers of reclaimed copies must have lost their translations.

@@ -57,6 +57,7 @@ type CpageStats struct {
 	RemoteMaps    int64    // faults resolved with a remote mapping
 	Freezes       int64    // times the policy froze the page
 	Thaws         int64    // times the defrost daemon thawed it
+	AllocFails    int64    // frame allocations that failed (pool empty or injected)
 	HandlerWait   sim.Time // time faults spent queued on the handler lock
 
 	// FaultTime is the total virtual time faults on this page took to
@@ -92,6 +93,7 @@ type Cpage struct {
 	everWritten bool // a write fault has ever targeted this page
 	frozen      bool
 	frozenAt    sim.Time
+	enlisted    bool // on the defrost daemon's frozen list (possibly stale)
 
 	home      int      // module whose kernel memory holds this entry
 	busyUntil sim.Time // fault-handler serialization ("Cpage lock")
@@ -121,38 +123,43 @@ func (cp *Cpage) Frozen() bool { return cp.frozen }
 // Copies returns the directory's copy list (do not modify).
 func (cp *Cpage) Copies() []Copy { return cp.copies }
 
-// HasCopy reports whether module mod holds a copy, and which frame.
-func (cp *Cpage) HasCopy(mod int) (frame int, ok bool) {
+// HasCopy reports whether module mod holds a copy, and which frame. A
+// non-nil error means the directory bitmask and copy list disagree — an
+// invariant violation the caller must propagate, not a "no copy" result.
+func (cp *Cpage) HasCopy(mod int) (frame int, ok bool, err error) {
 	if cp.dirMask&(1<<uint(mod)) == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	for _, c := range cp.copies {
 		if c.Module == mod {
-			return c.Frame, true
+			return c.Frame, true, nil
 		}
 	}
-	panic(fmt.Sprintf("core: cpage %d dirMask bit %d set without copy", cp.id, mod))
+	return 0, false, invariantErr(cp, "dirMask bit %d set without copy", mod)
 }
 
-// addCopy records a new physical copy in the directory.
-func (cp *Cpage) addCopy(c Copy) {
+// addCopy records a new physical copy in the directory. A duplicate
+// copy on the same module is an invariant violation.
+func (cp *Cpage) addCopy(c Copy) error {
 	if cp.dirMask&(1<<uint(c.Module)) != 0 {
-		panic(fmt.Sprintf("core: cpage %d already has a copy on module %d", cp.id, c.Module))
+		return invariantErr(cp, "already has a copy on module %d", c.Module)
 	}
 	cp.dirMask |= 1 << uint(c.Module)
 	cp.copies = append(cp.copies, c)
+	return nil
 }
 
-// removeCopy removes the copy on module mod from the directory.
-func (cp *Cpage) removeCopy(mod int) Copy {
+// removeCopy removes the copy on module mod from the directory. A
+// missing copy is an invariant violation.
+func (cp *Cpage) removeCopy(mod int) (Copy, error) {
 	for i, c := range cp.copies {
 		if c.Module == mod {
 			cp.copies = append(cp.copies[:i], cp.copies[i+1:]...)
 			cp.dirMask &^= 1 << uint(mod)
-			return c
+			return c, nil
 		}
 	}
-	panic(fmt.Sprintf("core: cpage %d has no copy on module %d", cp.id, mod))
+	return Copy{}, invariantErr(cp, "no copy on module %d to remove", mod)
 }
 
 // NewCpage allocates a new coherent page in the Empty state. The virtual
@@ -186,13 +193,19 @@ func (s *System) MaterializeAt(cp *Cpage, module int) error {
 	if !ok {
 		return &ErrNoMemory{}
 	}
-	cp.addCopy(Copy{Module: module, Frame: fr})
+	if err := cp.addCopy(Copy{Module: module, Frame: fr}); err != nil {
+		s.mem.Module(module).Free(fr)
+		return err
+	}
 	cp.state = Present1
 	cp.home = module
 	return nil
 }
 
 // freeze marks cp frozen and registers it on the defrost daemon's list.
+// A page thawed by a fault leaves a stale list entry behind; enlisted
+// tracks list membership so re-freezing such a page reuses the stale
+// entry instead of growing the list with duplicates.
 func (s *System) freeze(cp *Cpage, now sim.Time) {
 	if cp.frozen {
 		return
@@ -201,5 +214,8 @@ func (s *System) freeze(cp *Cpage, now sim.Time) {
 	cp.frozenAt = now
 	cp.Stats.Freezes++
 	s.trace(now, EvFreeze, -1, cp)
-	s.frozen = append(s.frozen, cp)
+	if !cp.enlisted {
+		cp.enlisted = true
+		s.frozen = append(s.frozen, cp)
+	}
 }

@@ -28,6 +28,7 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 	list := s.frozen
 	s.frozen = nil
 	for _, cp := range list {
+		cp.enlisted = false
 		if !cp.frozen {
 			continue // already thawed by a fault (thaw-on-fault policy)
 		}
@@ -42,8 +43,10 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		s.trace(now, EvThaw, proc, cp)
 		thawed++
 	}
-	if delay > 0 {
-		t.Charge(sim.CauseShootdown, delay)
+	if ack := s.drainInjAck(); delay > 0 {
+		t.Attribute(sim.CauseSlowAck, ack)
+		t.Attribute(sim.CauseShootdown, delay-ack)
+		t.Advance(delay)
 	}
 	return thawed
 }
@@ -53,7 +56,12 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 // by per-page thaw time (§4.2: "maintain the list of frozen pages as a
 // priority queue ordered by thaw time ... allows the daemon to run more
 // often than every t2 seconds"). It returns the number thawed and the
-// earliest next thaw time (0 if no pages remain frozen).
+// earliest next thaw time.
+//
+// next is 0 if and only if no pages remain frozen; otherwise it is
+// strictly greater than now (a page survives the sweep only when
+// now - frozenAt < minAge, i.e. frozenAt + minAge > now), so a caller
+// sleeping until next can never busy-loop on an already-due wakeup.
 func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed int, next sim.Time) {
 	now := t.Now()
 	var delay sim.Time
@@ -61,15 +69,17 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 	s.frozen = nil
 	for _, cp := range list {
 		if !cp.frozen {
+			cp.enlisted = false
 			continue
 		}
 		if now-cp.frozenAt < minAge {
-			s.frozen = append(s.frozen, cp)
+			s.frozen = append(s.frozen, cp) // stays enlisted
 			if due := cp.frozenAt + minAge; next == 0 || due < next {
 				next = due
 			}
 			continue
 		}
+		cp.enlisted = false
 		d, _ := s.shootdownCpage(cp, proc, now, false, false, affectAll)
 		delay += d
 		cp.frozen = false
@@ -81,8 +91,10 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 		s.trace(now, EvThaw, proc, cp)
 		thawed++
 	}
-	if delay > 0 {
-		t.Charge(sim.CauseShootdown, delay)
+	if ack := s.drainInjAck(); delay > 0 {
+		t.Attribute(sim.CauseSlowAck, ack)
+		t.Attribute(sim.CauseShootdown, delay-ack)
+		t.Advance(delay)
 	}
 	return thawed, next
 }

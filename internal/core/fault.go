@@ -122,37 +122,47 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 		apply(s.mem.Module(c.Module).Words(c.Frame))
 	}
 	// Attribute the composite charge exactly: the classified components
-	// (lock queueing, shootdown, block transfer) recorded in s.fc, and
-	// everything else — handler entry, lookups, allocation, map
-	// installs — as fault-handler overhead. One Advance, identical to
-	// the unattributed charge, keeps dispatch order bit-for-bit the
-	// same.
+	// (lock queueing, shootdown, block transfer, injected delays)
+	// recorded in s.fc, and everything else — handler entry, lookups,
+	// allocation, map installs — as fault-handler overhead. One Advance,
+	// identical to the unattributed charge, keeps dispatch order
+	// bit-for-bit the same.
 	total := cur - now
 	cp.Stats.FaultTime += total
 	t.Attribute(sim.CauseQueue, s.fc.queue)
 	t.Attribute(sim.CauseShootdown, s.fc.shoot)
 	t.Attribute(sim.CauseBlockTransfer, s.fc.xfer)
-	t.Attribute(sim.CauseFault, total-s.fc.queue-s.fc.shoot-s.fc.xfer)
+	t.Attribute(sim.CauseSlowAck, s.fc.ack)
+	t.Attribute(sim.CauseRetry, s.fc.stall)
+	t.Attribute(sim.CauseFault, total-s.fc.queue-s.fc.shoot-s.fc.xfer-s.fc.ack-s.fc.stall)
 	t.Advance(total)
 	return c, nil
 }
 
 // localIPTLookup finds the local copy through the inverted page table,
 // charging the strictly local probe cost (§3.3 explains why the IPT is
-// used instead of the directory's copy list).
-func (s *System) localIPTLookup(cp *Cpage, proc int, cur sim.Time) (frame int, newCur sim.Time) {
+// used instead of the directory's copy list). A directory that claims a
+// local copy the IPT cannot find is an invariant violation.
+func (s *System) localIPTLookup(cp *Cpage, proc int, cur sim.Time) (frame int, newCur sim.Time, err error) {
 	fr, probes, ok := s.mem.Module(proc).Lookup(cp.id)
 	if !ok {
-		panic("core: directory claims local copy but IPT lookup failed")
+		return phys.NoFrame, cur, invariantErr(cp, "directory claims copy on module %d but IPT lookup failed", proc)
 	}
-	return fr, cur + sim.Time(probes)*s.machine.Config().LocalRead
+	return fr, cur + sim.Time(probes)*s.machine.Config().LocalRead, nil
 }
 
 // allocFrame allocates a frame for cp on module mod, charging the fixed
-// allocation overhead. ok=false if the module is out of frames.
+// allocation overhead. ok=false if the module is out of frames (or a
+// fault injector failed the allocation); the failure is counted in the
+// page's statistics so exhaustion-driven fallbacks are policy-visible.
 func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur sim.Time, ok bool) {
+	if s.inj != nil && s.inj.FailAlloc(mod) {
+		cp.Stats.AllocFails++
+		return phys.NoFrame, cur, false
+	}
 	fr, _, ok := s.mem.Module(mod).Alloc(cp.id)
 	if !ok {
+		cp.Stats.AllocFails++
 		return phys.NoFrame, cur, false
 	}
 	return fr, cur + s.cfg.FrameAlloc, true
@@ -161,13 +171,19 @@ func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur
 // copyPage performs the hardware block transfer backing a replication or
 // migration, moving both simulated time and real data. The delay
 // (including queueing for the source and destination modules) is
-// recorded as block-transfer cost in the fault decomposition.
+// recorded as block-transfer cost in the fault decomposition; any
+// injected stall is recorded separately so it lands on CauseRetry.
 func (s *System) copyPage(src, dst Copy, cur sim.Time) sim.Time {
 	words := s.machine.Config().PageWords
 	d := s.machine.BlockTransferAt(cur, src.Module, dst.Module, words)
+	var stall sim.Time
+	if s.inj != nil {
+		stall = s.inj.TransferStall(src.Module, dst.Module)
+	}
 	s.fc.xfer += d
+	s.fc.stall += stall
 	copy(s.mem.Module(dst.Module).Words(dst.Frame), s.mem.Module(src.Module).Words(src.Frame))
-	return cur + d
+	return cur + d + stall
 }
 
 // chooseSource picks the physical copy to replicate from, per the
@@ -192,11 +208,14 @@ func (s *System) chooseSource(cp *Cpage) Copy {
 // its frame, charging the remote free cost. Frame reclamation is part
 // of the shootdown cost group: §4's 17 µs-per-extra-target figure is
 // 7 µs interrupt dispatch plus this 10 µs frame free.
-func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) sim.Time {
-	c := cp.removeCopy(mod)
+func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) (sim.Time, error) {
+	c, err := cp.removeCopy(mod)
+	if err != nil {
+		return cur, err
+	}
 	s.mem.Module(c.Module).Free(c.Frame)
 	s.fc.shoot += s.cfg.FrameFree
-	return cur + s.cfg.FrameFree
+	return cur + s.cfg.FrameFree, nil
 }
 
 // materialize zero-fills an Empty page, preferring a local frame and
@@ -212,7 +231,10 @@ func (s *System) materialize(cp *Cpage, vpn int64, proc int, cur sim.Time) (Copy
 	for _, mod := range order {
 		if fr, nc, ok := s.allocFrame(cp, mod, cur); ok {
 			c := Copy{Module: mod, Frame: fr}
-			cp.addCopy(c)
+			if err := cp.addCopy(c); err != nil {
+				s.mem.Module(mod).Free(fr)
+				return Copy{}, cur, err
+			}
 			return c, nc, nil
 		}
 	}
@@ -229,8 +251,13 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 	// A local physical copy may already exist (the Cpage can be shared
 	// by multiple address spaces, or the translation may simply have
 	// been evicted).
-	if _, ok := cp.HasCopy(proc); ok {
-		fr, cur := s.localIPTLookup(cp, proc, cur)
+	if _, ok, err := cp.HasCopy(proc); err != nil {
+		return Copy{}, cur, 0, err
+	} else if ok {
+		fr, cur, err := s.localIPTLookup(cp, proc, cur)
+		if err != nil {
+			return Copy{}, cur, 0, err
+		}
 		c := Copy{Module: proc, Frame: fr}
 		rights := Read
 		if cp.state == Modified && cp.writers&(1<<uint(proc)) != 0 {
@@ -264,7 +291,9 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 				// write-shared. Interference is recorded where mappings
 				// are destroyed (migration and copy reclamation).
 				d, _ := s.shootdownCpage(cp, proc, now, true, false, affectWriters)
-				s.fc.shoot += d
+				ack := s.drainInjAck()
+				s.fc.shoot += d - ack
+				s.fc.ack += ack
 				cur += d
 				cp.state = Present1
 				cp.writers = 0
@@ -274,7 +303,10 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 			// Directory updated under the lock; the transfer itself runs
 			// after the lock is released (lockEnd) and serializes at the
 			// source module.
-			cp.addCopy(dst)
+			if err := cp.addCopy(dst); err != nil {
+				s.mem.Module(proc).Free(fr)
+				return Copy{}, cur, 0, err
+			}
 			cp.state = PresentPlus
 			cp.Stats.Replications++
 			s.trace(cur, EvReplication, proc, cp)
@@ -329,17 +361,25 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 		return c, cur + s.cfg.MapInstall, nil
 	}
 
-	if fr, ok := cp.HasCopy(proc); ok {
+	if fr, ok, err := cp.HasCopy(proc); err != nil {
+		return Copy{}, cur, err
+	} else if ok {
 		// Local copy: invalidate every other copy (present+ -> modified
 		// requires reclaiming remote copies; present1/modified -> just
 		// upgrade, "requires neither" per §3.2).
-		fr2, nc := s.localIPTLookup(cp, proc, cur)
+		fr2, nc, err := s.localIPTLookup(cp, proc, cur)
+		if err != nil {
+			return Copy{}, cur, err
+		}
 		if fr2 != fr {
-			panic("core: IPT and directory disagree")
+			return Copy{}, cur, invariantErr(cp, "IPT frame %d and directory frame %d disagree on module %d", fr2, fr, proc)
 		}
 		cur = nc
 		local := Copy{Module: proc, Frame: fr}
-		cur = s.reclaimOtherCopies(cp, proc, local, now, cur)
+		cur, err = s.reclaimOtherCopies(cp, proc, local, now, cur)
+		if err != nil {
+			return Copy{}, cur, err
+		}
 		cp.state = Modified
 		cp.writers |= 1 << uint(proc)
 		cm.installTranslation(proc, e, local, Read|Write)
@@ -354,15 +394,24 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 			// Migrate: every existing translation points at a copy that
 			// is about to disappear, so invalidate them all.
 			d, _ := s.shootdownCpage(cp, proc, now, false, true, affectAll)
-			s.fc.shoot += d
+			ack := s.drainInjAck()
+			s.fc.shoot += d - ack
+			s.fc.ack += ack
 			cur += d
 			src := s.chooseSource(cp)
 			dst := Copy{Module: proc, Frame: fr}
 			cur = s.copyPage(src, dst, cur)
 			for len(cp.copies) > 0 {
-				cur = s.freeCopy(cp, cp.copies[0].Module, cur)
+				var err error
+				cur, err = s.freeCopy(cp, cp.copies[0].Module, cur)
+				if err != nil {
+					return Copy{}, cur, err
+				}
 			}
-			cp.addCopy(dst)
+			if err := cp.addCopy(dst); err != nil {
+				s.mem.Module(proc).Free(fr)
+				return Copy{}, cur, err
+			}
 			cp.state = Modified
 			cp.writers = 1 << uint(proc)
 			cp.Stats.Migrations++
@@ -379,7 +428,11 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 	// Remote write mapping: requires a single copy, so first reduce
 	// present+ to one copy.
 	keep := s.chooseSource(cp)
-	cur = s.reclaimOtherCopies(cp, proc, keep, now, cur)
+	var err error
+	cur, err = s.reclaimOtherCopies(cp, proc, keep, now, cur)
+	if err != nil {
+		return Copy{}, cur, err
+	}
 	cp.state = Modified
 	cp.writers |= 1 << uint(proc)
 	if dec.Freeze {
@@ -396,18 +449,24 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 // the synchronization cost is paid once and each further target costs
 // only the incremental interrupt dispatch, which together with the frame
 // free reproduces §4's 17 µs-per-extra-processor measurement.
-func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cur sim.Time) sim.Time {
+func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cur sim.Time) (sim.Time, error) {
 	if len(cp.copies) <= 1 {
-		return cur
+		return cur, nil
 	}
 	d, _ := s.shootdownCpage(cp, initiator, now, false, true,
 		func(_ int, pe pmapEntry) bool { return pe.copy.Module != keep.Module })
-	s.fc.shoot += d
+	ack := s.drainInjAck()
+	s.fc.shoot += d - ack
+	s.fc.ack += ack
 	cur += d
 	for _, c := range append([]Copy(nil), cp.copies...) {
 		if c.Module != keep.Module {
-			cur = s.freeCopy(cp, c.Module, cur)
+			var err error
+			cur, err = s.freeCopy(cp, c.Module, cur)
+			if err != nil {
+				return cur, err
+			}
 		}
 	}
-	return cur
+	return cur, nil
 }

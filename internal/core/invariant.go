@@ -89,7 +89,11 @@ func (s *System) validateCmap(cm *Cmap) error {
 				continue // stale entries of inactive procs are legal
 			}
 			cp := e.cp
-			if fr, has := cp.HasCopy(pe.copy.Module); !has || fr != pe.copy.Frame {
+			fr, has, err := cp.HasCopy(pe.copy.Module)
+			if err != nil {
+				return err
+			}
+			if !has || fr != pe.copy.Frame {
 				return fmt.Errorf("cmap %d vpn %d proc %d: translation to (%d,%d) not in directory of cpage %d",
 					cm.id, vpn, proc, pe.copy.Module, pe.copy.Frame, cp.id)
 			}

@@ -31,6 +31,7 @@ type PageReport struct {
 	RemoteMaps   int64
 	Freezes      int64
 	Thaws        int64
+	AllocFails   int64
 	HandlerWait  sim.Time
 	FaultTime    sim.Time
 }
@@ -69,6 +70,7 @@ func (s *System) Report() Report {
 			RemoteMaps:   cp.Stats.RemoteMaps,
 			Freezes:      cp.Stats.Freezes,
 			Thaws:        cp.Stats.Thaws,
+			AllocFails:   cp.Stats.AllocFails,
 			HandlerWait:  cp.Stats.HandlerWait,
 			FaultTime:    cp.Stats.FaultTime,
 		})

@@ -69,6 +69,16 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			} else {
 				delay += s.machine.Config().InterruptDispatch
 			}
+			if s.inj != nil {
+				// Injected slow acknowledgement: the target stalls before
+				// acking, stretching the initiator's wait. Recorded in
+				// injAck so charging sites can attribute it to
+				// CauseSlowAck instead of CauseShootdown.
+				if a := s.inj.AckDelay(initiator, proc); a > 0 {
+					delay += a
+					s.injAck += a
+				}
+			}
 			interrupted++
 			s.penalty[proc] += s.machine.Config().InterruptHandle
 			if restrict {

@@ -146,6 +146,10 @@ type Machine struct {
 	cfg     Config
 	engine  *sim.Engine
 	modules []Module
+
+	// accessFault, when set, injects a transient busy/retry delay into
+	// word accesses (see SetAccessFault). nil in normal operation.
+	accessFault func(proc, mod int) sim.Time
 }
 
 // Module is one memory module. Requests serialize at the module: any
@@ -209,6 +213,15 @@ func (m *Machine) wordCost(proc, mod, n int, write bool) (lat, occ sim.Time) {
 	return lat * sim.Time(n), occ * sim.Time(n)
 }
 
+// SetAccessFault installs a fault-injection hook consulted on every
+// word access charged through Access: the returned extra delay models a
+// transient busy/retry at the target module (the access is retried
+// until the module answers). The delay is attributed to CauseRetry and
+// extends the module's occupancy, so conservation and module statistics
+// stay exact. Pass nil to disable. The hook must be deterministic for a
+// given call sequence or simulation runs stop being reproducible.
+func (m *Machine) SetAccessFault(f func(proc, mod int) sim.Time) { m.accessFault = f }
+
 // Access charges thread t for n word accesses from processor proc to
 // memory module mod, queueing at the module if it is busy. It returns
 // the total delay experienced (queueing + latency). The latency is
@@ -220,24 +233,29 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 		return 0
 	}
 	lat, occ := m.wordCost(proc, mod, n, write)
+	var retry sim.Time
+	if m.accessFault != nil {
+		retry = m.accessFault(proc, mod)
+	}
 	mm := &m.modules[mod]
 	start := t.Now()
 	if mm.busyUntil > start {
 		start = mm.busyUntil
 	}
 	queue := start - t.Now()
-	mm.busyUntil = start + occ
+	mm.busyUntil = start + occ + retry
 	mm.Accesses++
 	mm.Words += int64(n)
 	mm.QueueWait += queue
-	mm.BusyTime += occ
+	mm.BusyTime += occ + retry
 	cause := sim.CauseRemoteAccess
 	if proc == mod {
 		cause = sim.CauseLocalAccess
 	}
 	t.Attribute(sim.CauseQueue, queue)
 	t.Attribute(cause, lat)
-	total := queue + lat
+	t.Attribute(sim.CauseRetry, retry)
+	total := queue + lat + retry
 	t.Advance(total)
 	return total
 }

@@ -43,6 +43,8 @@ type Breakdown struct {
 	QueueNs         int64 `json:"queue_ns"`
 	SyncNs          int64 `json:"sync_ns"`
 	KernelNs        int64 `json:"kernel_ns"`
+	RetryNs         int64 `json:"retry_ns"`
+	SlowAckNs       int64 `json:"slow_ack_ns"`
 }
 
 // FromAccount converts a sim.Account into its JSON schema form.
@@ -59,6 +61,8 @@ func FromAccount(a sim.Account) Breakdown {
 		QueueNs:         int64(a[sim.CauseQueue]),
 		SyncNs:          int64(a[sim.CauseSync]),
 		KernelNs:        int64(a[sim.CauseKernel]),
+		RetryNs:         int64(a[sim.CauseRetry]),
+		SlowAckNs:       int64(a[sim.CauseSlowAck]),
 	}
 }
 
@@ -106,6 +110,7 @@ type PageMetrics struct {
 	RemoteMaps    int64  `json:"remote_maps"`
 	Freezes       int64  `json:"freezes"`
 	Thaws         int64  `json:"thaws"`
+	AllocFails    int64  `json:"alloc_fails"`
 	HandlerWaitNs int64  `json:"handler_wait_ns"`
 	FaultTimeNs   int64  `json:"fault_time_ns"`
 }
@@ -126,6 +131,7 @@ func FromPageReport(p core.PageReport) PageMetrics {
 		RemoteMaps:    p.RemoteMaps,
 		Freezes:       p.Freezes,
 		Thaws:         p.Thaws,
+		AllocFails:    p.AllocFails,
 		HandlerWaitNs: int64(p.HandlerWait),
 		FaultTimeNs:   int64(p.FaultTime),
 	}

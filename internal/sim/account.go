@@ -76,6 +76,18 @@ const (
 	// on address-space activation.
 	CauseKernel
 
+	// CauseRetry is injected transient memory-module delay: a busy
+	// module forcing the requester to retry a word access, or a stalled
+	// hardware block transfer. Only fault-injection harnesses charge it;
+	// in a clean run the balance is zero.
+	CauseRetry
+
+	// CauseSlowAck is injected shootdown-acknowledgement delay: a target
+	// processor that is slow to acknowledge an interprocessor interrupt,
+	// stretching the initiator's synchronization wait. Only
+	// fault-injection harnesses charge it.
+	CauseSlowAck
+
 	// NumCauses is the number of attribution causes (array sizing).
 	NumCauses
 )
@@ -104,6 +116,10 @@ func (c Cause) String() string {
 		return "sync"
 	case CauseKernel:
 		return "kernel"
+	case CauseRetry:
+		return "retry"
+	case CauseSlowAck:
+		return "slow_ack"
 	}
 	return "cause(?)"
 }

@@ -161,6 +161,8 @@ func TestCauseStrings(t *testing.T) {
 		CauseQueue:         "queue",
 		CauseSync:          "sync",
 		CauseKernel:        "kernel",
+		CauseRetry:         "retry",
+		CauseSlowAck:       "slow_ack",
 	}
 	if len(want) != int(NumCauses) {
 		t.Fatalf("test covers %d causes, NumCauses is %d", len(want), NumCauses)
