@@ -4,13 +4,15 @@
 // Usage:
 //
 //	platinum-bench [-quick] [-exp id[,id...]] [-j N] [-json] [-list]
+//	               [-cpuprofile file] [-memprofile file]
 //
 // With no -exp it runs every experiment. -quick scales problem sizes
 // down (the full sizes are the paper's). -j bounds how many independent
 // simulation runs execute concurrently (default: all CPUs); the tables
 // are identical at any setting. -json emits one JSON object per
 // experiment instead of aligned tables. -list prints the experiment
-// index and exits.
+// index and exits. -cpuprofile / -memprofile write runtime/pprof
+// profiles of the run for `go tool pprof` (see EXPERIMENTS.md).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,7 +45,36 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs per experiment")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {

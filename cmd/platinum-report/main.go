@@ -11,16 +11,22 @@
 // per-page records ranked most-expensive-first. See EXPERIMENTS.md for
 // the field-by-field schema.
 //
+// With -spans the run also records causal spans (internal/span) and
+// writes them as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing; see cmd/platinum-trace for a dedicated exporter.
+//
 // Usage:
 //
 //	platinum-report [-app gauss|mergesort|backprop|anecdote] [-procs n]
 //	                [-n size] [-top k] [-json]
 //	                [-trace n] [-timeline file.jsonl] [-bucket d]
+//	                [-spans file.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,26 +34,48 @@ import (
 	"platinum/internal/kernel"
 	"platinum/internal/metrics"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 	trc "platinum/internal/trace"
 )
 
 func main() {
-	app := flag.String("app", "gauss", "application: gauss, mergesort, backprop, anecdote")
-	procs := flag.Int("procs", 8, "processors to use")
-	size := flag.Int("n", 240, "problem size (matrix dim / words / epochs)")
-	top := flag.Int("top", 20, "show the k busiest pages")
-	jsonOut := flag.Bool("json", false, "emit the structured metrics report as JSON")
-	trace := flag.Int("trace", 0, "record up to this many protocol events and print a summary")
-	timeline := flag.String("timeline", "", "write a per-node timeline as JSON Lines to this file (requires -trace)")
-	bucket := flag.Duration("bucket", time.Millisecond, "timeline bucket width (virtual time)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against explicit streams so tests can drive
+// every CLI path; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("platinum-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "gauss", "application: gauss, mergesort, backprop, anecdote")
+	procs := fs.Int("procs", 8, "processors to use")
+	size := fs.Int("n", 240, "problem size (matrix dim / words / epochs)")
+	top := fs.Int("top", 20, "show the k busiest pages")
+	jsonOut := fs.Bool("json", false, "emit the structured metrics report as JSON")
+	trace := fs.Int("trace", 0, "record up to this many protocol events and print a summary")
+	timeline := fs.String("timeline", "", "write a per-node timeline as JSON Lines to this file (requires -trace)")
+	bucket := fs.Duration("bucket", time.Millisecond, "timeline bucket width (virtual time)")
+	spans := fs.String("spans", "", "record causal spans and write Chrome trace-event JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "platinum-report:", err)
+		return 1
+	}
 
 	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *trace > 0 {
 		pl.K.EnableTrace(*trace)
+	}
+	if *spans != "" {
+		if *app == "anecdote" {
+			return fail(fmt.Errorf("-spans is not supported with -app anecdote (it boots its own kernel)"))
+		}
+		pl.K.EnableSpans(0)
 	}
 
 	var elapsed sim.Time
@@ -57,7 +85,7 @@ func main() {
 		cfg := apps.DefaultGaussConfig(*size, *procs)
 		r, err := apps.RunGaussPlatinum(pl, cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		want := apps.GaussReferenceChecksum(cfg)
 		elapsed = r.Elapsed
@@ -70,7 +98,7 @@ func main() {
 		}
 		r, err := apps.RunMergeSort(pl, cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		elapsed = r.Elapsed
 		header = fmt.Sprintf("mergesort %d words on %d procs: %v (sorted=%v)",
@@ -82,7 +110,7 @@ func main() {
 		}
 		r, err := apps.RunBackprop(pl, cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		elapsed = r.Elapsed
 		header = fmt.Sprintf("backprop %d epochs on %d procs: %v (SSE %.3f -> %.3f)",
@@ -91,30 +119,30 @@ func main() {
 		cfg := apps.DefaultAnecdoteConfig(*procs)
 		r, err := apps.RunAnecdote(cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := metrics.CheckConservation(r.Accounts); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *jsonOut {
 			// The anecdote boots its own kernel; report on that one.
 			mr := metrics.BuildReport("anecdote", *procs, r.Elapsed, r.Accounts, r.Report)
-			if err := metrics.WriteJSON(os.Stdout, mr); err != nil {
-				fail(err)
+			if err := metrics.WriteJSON(stdout, mr); err != nil {
+				return fail(err)
 			}
-			return
+			return 0
 		}
-		fmt.Printf("anecdote on %d procs: %v (size page frozen: %v)\n",
+		fmt.Fprintf(stdout, "anecdote on %d procs: %v (size page frozen: %v)\n",
 			*procs, r.Elapsed, r.SizeFrozen)
-		fmt.Println("(anecdote boots its own kernel; report below is for the unused default kernel)")
+		fmt.Fprintln(stdout, "(anecdote boots its own kernel; report below is for the unused default kernel)")
 		elapsed = r.Elapsed
 	default:
-		fail(fmt.Errorf("unknown app %q", *app))
+		return fail(fmt.Errorf("unknown app %q", *app))
 	}
 
 	accounts := pl.K.NodeAccounts()
 	if err := metrics.CheckConservation(accounts); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	report := pl.K.Report()
 
@@ -123,21 +151,21 @@ func main() {
 		if *top > 0 && len(mr.Pages) > *top {
 			mr.Pages = mr.Pages[:*top]
 		}
-		if err := metrics.WriteJSON(os.Stdout, mr); err != nil {
-			fail(err)
+		if err := metrics.WriteJSON(stdout, mr); err != nil {
+			return fail(err)
 		}
 	} else {
 		if header != "" {
-			fmt.Println(header)
-			fmt.Println()
+			fmt.Fprintln(stdout, header)
+			fmt.Fprintln(stdout)
 		}
 		if *top > 0 && len(report.Pages) > *top {
 			report.Pages = report.Pages[:*top]
 		}
-		if _, err := report.WriteTo(os.Stdout); err != nil {
-			fail(err)
+		if _, err := report.WriteTo(stdout); err != nil {
+			return fail(err)
 		}
-		writeBreakdown(pl.K.TotalAccount())
+		writeBreakdown(stdout, pl.K.TotalAccount())
 		// ATC summary.
 		var hits, misses int64
 		for _, a := range report.ATC {
@@ -145,8 +173,28 @@ func main() {
 			misses += a.Misses
 		}
 		if hits+misses > 0 {
-			fmt.Printf("\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
+			fmt.Fprintf(stdout, "\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
 				hits, misses, 100*float64(hits)/float64(hits+misses))
+		}
+	}
+
+	if *spans != "" {
+		rec := pl.K.Spans()
+		all := rec.Spans()
+		f, err := os.Create(*spans)
+		if err != nil {
+			return fail(err)
+		}
+		if err := span.WriteChrome(f, all); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "\nspans: %d recorded (%d dropped) -> %s\n",
+				len(all), rec.Dropped(), *spans)
 		}
 	}
 
@@ -155,49 +203,46 @@ func main() {
 		if *timeline != "" {
 			f, err := os.Create(*timeline)
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			if err := metrics.WriteTimelineJSONL(f, events, sim.Time(*bucket)); err != nil {
-				fail(err)
+				f.Close()
+				return fail(err)
 			}
 			if err := f.Close(); err != nil {
-				fail(err)
+				return fail(err)
 			}
 		}
 		if !*jsonOut {
-			fmt.Println()
-			if _, err := trc.Summarize(events, dropped).WriteTo(os.Stdout); err != nil {
-				fail(err)
+			fmt.Fprintln(stdout)
+			if _, err := trc.Summarize(events, dropped).WriteTo(stdout); err != nil {
+				return fail(err)
 			}
-			fmt.Println("busiest pages (faults, moves, freeze cycles, ping-pong runs):")
+			fmt.Fprintln(stdout, "busiest pages (faults, moves, freeze cycles, ping-pong runs):")
 			pages := trc.ByPage(events)
 			if len(pages) > 8 {
 				pages = pages[:8]
 			}
 			for _, h := range pages {
-				fmt.Printf("  cpage %-5d faults=%-5d moves=%-5d cycles=%-3d pingpong=%d\n",
+				fmt.Fprintf(stdout, "  cpage %-5d faults=%-5d moves=%-5d cycles=%-3d pingpong=%d\n",
 					h.Cpage, h.Faults, h.Moves, h.FreezeCycles, h.PingPongRuns)
 			}
 		}
 	}
+	return 0
 }
 
 // writeBreakdown prints the machine-wide per-cause time table.
-func writeBreakdown(a sim.Account) {
+func writeBreakdown(w io.Writer, a sim.Account) {
 	total := a.Total()
 	if total == 0 {
 		return
 	}
-	fmt.Printf("\ncost breakdown (total %v across all processors):\n", total)
+	fmt.Fprintf(w, "\ncost breakdown (total %v across all processors):\n", total)
 	for c := sim.Cause(0); c < sim.NumCauses; c++ {
 		if a[c] == 0 {
 			continue
 		}
-		fmt.Printf("  %-15v %14v %6.1f%%\n", c, a[c], 100*float64(a[c])/float64(total))
+		fmt.Fprintf(w, "  %-15v %14v %6.1f%%\n", c, a[c], 100*float64(a[c])/float64(total))
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "platinum-report:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCmd drives the CLI with args and returns stdout and the exit code.
+func runCmd(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	if errb.Len() > 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update (the same convention as internal/metrics).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// The simulation is deterministic, so every CLI path is pinned
+// byte-for-byte against a golden: a diff means either the simulated
+// run changed (timing, protocol behaviour) or the output format did.
+
+func TestReportTextGolden(t *testing.T) {
+	out, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-top", "4")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	checkGolden(t, "gauss_report.golden.txt", []byte(out))
+}
+
+func TestReportJSONGolden(t *testing.T) {
+	out, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-top", "4", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	checkGolden(t, "gauss_report.golden.json", []byte(out))
+}
+
+func TestTimelineGolden(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "timeline.jsonl")
+	_, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2",
+		"-trace", "2000", "-timeline", tl)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	got, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "gauss_timeline.golden.jsonl", got)
+}
+
+func TestSpansGolden(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "spans.json")
+	out, code := runCmd(t, "-app", "gauss", "-n", "8", "-procs", "2", "-spans", tr)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "spans:") {
+		t.Errorf("stdout does not mention the span export:\n%s", out)
+	}
+	got, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("-spans output is not valid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("-spans wrote no trace events")
+	}
+	checkGolden(t, "gauss_spans.golden.json", got)
+}
+
+func TestSpansRejectsAnecdote(t *testing.T) {
+	_, code := runCmd(t, "-app", "anecdote", "-spans", filepath.Join(t.TempDir(), "x.json"))
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestUnknownAppFails(t *testing.T) {
+	_, code := runCmd(t, "-app", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

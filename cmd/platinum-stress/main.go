@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"platinum/internal/sim"
@@ -24,19 +26,33 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "schedule seed (soak mode: first seed)")
-		ops      = flag.Int("ops", 20000, "operations per run")
-		procs    = flag.Int("procs", 4, "simulated processors")
-		spaces   = flag.Int("spaces", 2, "address spaces sharing the object")
-		pages    = flag.Int("pages", 8, "pages in the shared object")
-		frames   = flag.Int("frames", 6, "frames per memory module")
-		duration = flag.Duration("duration", 0, "soak for this wall-clock time over consecutive seeds (0 = single run)")
-		faults   = flag.Bool("faults", false, "enable fault injection (retries, transfer stalls, slow acks, alloc failures)")
-		shrink   = flag.Bool("shrink", true, "shrink the schedule to a minimal reproducer on failure")
-		bug      = flag.String("bug", "", "deliberately inject a protocol bug (self-test): \"desync\"")
-		verbose  = flag.Bool("v", false, "print per-run summaries in soak mode")
+		seed       = flag.Int64("seed", 1, "schedule seed (soak mode: first seed)")
+		ops        = flag.Int("ops", 20000, "operations per run")
+		procs      = flag.Int("procs", 4, "simulated processors")
+		spaces     = flag.Int("spaces", 2, "address spaces sharing the object")
+		pages      = flag.Int("pages", 8, "pages in the shared object")
+		frames     = flag.Int("frames", 6, "frames per memory module")
+		duration   = flag.Duration("duration", 0, "soak for this wall-clock time over consecutive seeds (0 = single run)")
+		faults     = flag.Bool("faults", false, "enable fault injection (retries, transfer stalls, slow acks, alloc failures)")
+		shrink     = flag.Bool("shrink", true, "shrink the schedule to a minimal reproducer on failure")
+		bug        = flag.String("bug", "", "deliberately inject a protocol bug (self-test): \"desync\"")
+		verbose    = flag.Bool("v", false, "print per-run summaries in soak mode")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-stress: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-stress: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	cfg := stress.DefaultConfig()
 	cfg.Seed = *seed
@@ -50,22 +66,43 @@ func main() {
 		cfg.Faults = stress.DefaultFaultConfig()
 	}
 
+	code := 0
 	if *duration <= 0 {
-		os.Exit(report(runOne(cfg, *shrink, true)))
+		code = report(runOne(cfg, *shrink, true))
+	} else {
+		// Soak: consecutive seeds until the wall-clock budget runs out.
+		deadline := time.Now().Add(*duration)
+		runs := 0
+		for time.Now().Before(deadline) {
+			if code = report(runOne(cfg, *shrink, *verbose)); code != 0 {
+				fmt.Fprintf(os.Stderr, "soak: failed on seed %d after %d clean runs\n", cfg.Seed, runs)
+				break
+			}
+			runs++
+			cfg.Seed++
+		}
+		if code == 0 {
+			fmt.Printf("soak: %d runs clean (seeds %d..%d, %d ops each)\n", runs, *seed, cfg.Seed-1, cfg.Ops)
+		}
 	}
 
-	// Soak: consecutive seeds until the wall-clock budget runs out.
-	deadline := time.Now().Add(*duration)
-	runs := 0
-	for time.Now().Before(deadline) {
-		if code := report(runOne(cfg, *shrink, *verbose)); code != 0 {
-			fmt.Fprintf(os.Stderr, "soak: failed on seed %d after %d clean runs\n", cfg.Seed, runs)
-			os.Exit(code)
-		}
-		runs++
-		cfg.Seed++
+	// Flush profiles before exiting (os.Exit skips defers).
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
 	}
-	fmt.Printf("soak: %d runs clean (seeds %d..%d, %d ops each)\n", runs, *seed, cfg.Seed-1, cfg.Ops)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-stress: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-stress: %v\n", err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
 }
 
 // runOne executes one seed and prints its summary when verbose.

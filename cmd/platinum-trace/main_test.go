@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd drives the CLI with args and returns stdout, stderr, and the
+// exit code.
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestValidateApps runs the validator — nesting plus exact Account
+// reconciliation — over each supported application.
+func TestValidateApps(t *testing.T) {
+	for _, app := range []string{"gauss", "mergesort", "backprop"} {
+		out, errs, code := runCmd(t, "-app", app, "-n", "32", "-procs", "4", "-validate")
+		if code != 0 {
+			t.Fatalf("%s: exit code %d: %s", app, code, errs)
+		}
+		if !strings.HasPrefix(out, "ok:") {
+			t.Errorf("%s: unexpected validator output:\n%s", app, out)
+		}
+	}
+}
+
+func TestChromeExportParses(t *testing.T) {
+	tr := filepath.Join(t.TempDir(), "trace.json")
+	_, errs, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-o", tr)
+	if code != 0 {
+		t.Fatalf("exit code %d: %s", code, errs)
+	}
+	raw, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid Chrome trace JSON: %v", err)
+	}
+	var complete, meta, async int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		case "b", "e":
+			async++
+		}
+	}
+	if complete == 0 || meta == 0 || async == 0 {
+		t.Errorf("export missing event phases: X=%d M=%d b/e=%d", complete, meta, async)
+	}
+}
+
+func TestTextDump(t *testing.T) {
+	out, errs, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-text")
+	if code != 0 {
+		t.Fatalf("exit code %d: %s", code, errs)
+	}
+	for _, want := range []string{"fault", "dir-lookup", "block-transfer", "page="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%.2000s", want, out)
+		}
+	}
+}
+
+func TestUnknownAppFails(t *testing.T) {
+	_, _, code := runCmd(t, "-app", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

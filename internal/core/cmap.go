@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // pmapEntry is one virtual-to-physical translation in a processor's
@@ -119,7 +120,10 @@ func (cm *Cmap) Remove(t *sim.Thread, proc int, vpn int64) error {
 		return fmt.Errorf("core: vpn %d not mapped in cmap %d", vpn, cm.id)
 	}
 	now := t.Now()
-	d, _ := cm.sys.shootdownEntry(e, proc, now, false, func(p int, pe pmapEntry) bool {
+	s := cm.sys
+	s.spanTrack = t.ID()
+	s.roundBegin()
+	d, _ := s.shootdownEntry(e, proc, now, false, func(p int, pe pmapEntry) bool {
 		return true
 	})
 	// Drop our own translation too.
@@ -132,7 +136,9 @@ func (cm *Cmap) Remove(t *sim.Thread, proc int, vpn int64) error {
 		}
 	}
 	delete(cm.entries, vpn)
-	ack := cm.sys.drainInjAck()
+	ack := s.drainInjAck()
+	s.roundRecord(now, d, e.cp, proc, "unmap")
+	s.spanFlush()
 	t.Attribute(sim.CauseSlowAck, ack)
 	t.Attribute(sim.CauseShootdown, d-ack)
 	t.Advance(d)
@@ -166,6 +172,9 @@ func (cm *Cmap) Activate(t *sim.Thread, proc int) {
 	if cost > 0 && t != nil {
 		// Applying queued shootdown messages on activation is the lazy
 		// half of the shootdown protocol's cost.
+		now := t.Now()
+		cm.sys.rec.Record(span.Span{Kind: span.KindMsgApply, Start: now, End: now + cost,
+			Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: cost})
 		t.Charge(sim.CauseShootdown, cost)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"platinum/internal/mach"
 	"platinum/internal/phys"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // Rights are access rights to a page.
@@ -212,6 +213,12 @@ type Config struct {
 	// MsgApply is the cost for a processor to apply one queued Cmap
 	// message when it activates an address space.
 	MsgApply sim.Time
+
+	// Spans, when non-nil, is the causal span recorder to use. Left
+	// nil, NewSystem creates one with the default bounded flight ring —
+	// recording is always on (it is pure bookkeeping and cannot perturb
+	// the simulation); only retained-export mode is opt-in.
+	Spans *span.Recorder
 }
 
 // DefaultConfig returns parameters that reproduce the paper's §4
@@ -267,6 +274,17 @@ type System struct {
 	// it can be attributed to CauseSlowAck rather than CauseShootdown.
 	inj    FaultInjector
 	injAck sim.Time
+
+	// Causal span recording scratch (see span.go): the recorder, the
+	// current operation's root span and track, the buffered child
+	// spans, the CauseFault time already covered by child spans, and
+	// the per-round shootdown target records.
+	rec        *span.Recorder
+	spanParent span.ID
+	spanTrack  int
+	fcSpanned  sim.Time
+	pending    []span.Span
+	sdTargets  []sdTarget
 }
 
 // faultCosts is the per-fault cost decomposition scratch record: the
@@ -295,12 +313,17 @@ func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := cfg.Spans
+	if rec == nil {
+		rec = span.NewRecorder(0)
+	}
 	s := &System{
 		machine: m,
 		mem:     mem,
 		cfg:     cfg,
 		atcs:    make([]*atc, m.Nodes()),
 		penalty: make([]sim.Time, m.Nodes()),
+		rec:     rec,
 	}
 	for i := range s.atcs {
 		s.atcs[i] = newATC(cfg.ATCEntries)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // The defrost daemon (§4.2). The coherency protocol is fault-driven:
@@ -23,6 +26,9 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		return 0
 	}
 	now := t.Now()
+	sweepID := s.rec.Alloc()
+	s.spanParent = sweepID
+	s.spanTrack = t.ID()
 	var delay sim.Time
 	thawed := 0
 	list := s.frozen
@@ -32,7 +38,9 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		if !cp.frozen {
 			continue // already thawed by a fault (thaw-on-fault policy)
 		}
+		s.roundBegin()
 		d, _ := s.shootdownCpage(cp, proc, now, false, false, affectAll)
+		s.spanThaw(cp, proc, now+delay, d)
 		delay += d
 		cp.frozen = false
 		cp.writers = 0
@@ -43,7 +51,11 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		s.trace(now, EvThaw, proc, cp)
 		thawed++
 	}
-	if ack := s.drainInjAck(); delay > 0 {
+	ack := s.drainInjAck()
+	s.rec.Record(span.Span{ID: sweepID, Kind: span.KindDefrostSweep, Start: now, End: now + delay,
+		Proc: proc, Track: t.ID(), Page: -1, Note: fmt.Sprintf("thawed %d", thawed)})
+	s.spanFlush()
+	if delay > 0 {
 		t.Attribute(sim.CauseSlowAck, ack)
 		t.Attribute(sim.CauseShootdown, delay-ack)
 		t.Advance(delay)
@@ -64,6 +76,9 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 // sleeping until next can never busy-loop on an already-due wakeup.
 func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed int, next sim.Time) {
 	now := t.Now()
+	sweepID := s.rec.Alloc()
+	s.spanParent = sweepID
+	s.spanTrack = t.ID()
 	var delay sim.Time
 	list := s.frozen
 	s.frozen = nil
@@ -80,7 +95,9 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 			continue
 		}
 		cp.enlisted = false
+		s.roundBegin()
 		d, _ := s.shootdownCpage(cp, proc, now, false, false, affectAll)
+		s.spanThaw(cp, proc, now+delay, d)
 		delay += d
 		cp.frozen = false
 		cp.writers = 0
@@ -91,7 +108,15 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 		s.trace(now, EvThaw, proc, cp)
 		thawed++
 	}
-	if ack := s.drainInjAck(); delay > 0 {
+	ack := s.drainInjAck()
+	if len(list) > 0 {
+		// No span for the empty polls the adaptive daemon makes every
+		// tick — only sweeps that examined at least one page.
+		s.rec.Record(span.Span{ID: sweepID, Kind: span.KindDefrostSweep, Start: now, End: now + delay,
+			Proc: proc, Track: t.ID(), Page: -1, Note: fmt.Sprintf("thawed %d", thawed)})
+	}
+	s.spanFlush()
+	if delay > 0 {
 		t.Attribute(sim.CauseSlowAck, ack)
 		t.Attribute(sim.CauseShootdown, delay-ack)
 		t.Advance(delay)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"platinum/internal/phys"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // Touch resolves processor proc's access to virtual page vpn of the
@@ -43,6 +46,9 @@ func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write boo
 		if pen > 0 {
 			// Deferred cost of interrupts this processor fielded for
 			// other processors' shootdowns.
+			now := t.Now()
+			s.rec.Record(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
+				Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: pen})
 			t.Attribute(sim.CauseShootdown, pen)
 			t.Advance(pen)
 		}
@@ -54,9 +60,21 @@ func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write boo
 		if apply != nil {
 			apply(s.mem.Module(pe.copy.Module).Words(pe.copy.Frame))
 		}
+		now := t.Now()
+		page := int64(-1)
+		if e := cm.Lookup(vpn); e != nil {
+			page = e.cp.id
+		}
+		if pen > 0 {
+			s.rec.Record(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
+				Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: pen})
+		}
+		reload := s.machine.Config().ATCReload
+		s.rec.Record(span.Span{Kind: span.KindATCReload, Start: now + pen, End: now + pen + reload,
+			Proc: proc, Track: t.ID(), Page: page, Cause: sim.CauseFault, Self: reload})
 		t.Attribute(sim.CauseShootdown, pen)
-		t.Attribute(sim.CauseFault, s.machine.Config().ATCReload)
-		t.Advance(pen + s.machine.Config().ATCReload)
+		t.Attribute(sim.CauseFault, reload)
+		t.Advance(pen + reload)
 		return pe.copy, nil
 	}
 	return s.fault(t, proc, cm, vpn, write, pen, apply)
@@ -79,7 +97,22 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	}
 	cp := e.cp
 	now := t.Now()
+	note := "read-fault"
+	if write {
+		note = "write-fault"
+	}
+	// Open the fault's span tree: children buffer in s.pending until the
+	// handler commits (spanFlush) or fails (spanAbort).
+	rootID := s.rec.Alloc()
+	s.spanParent = rootID
+	s.spanTrack = t.ID()
+	if pen > 0 {
+		s.spanChild(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
+			Proc: proc, Page: cp.id, Cause: sim.CauseShootdown, Self: pen})
+	}
 	cur := now + pen + s.cfg.FaultBase
+	s.spanChild(span.Span{Kind: span.KindDirLookup, Start: now + pen, End: cur,
+		Proc: proc, Page: cp.id, Cause: sim.CauseFault, Self: s.cfg.FaultBase})
 	s.fc = faultCosts{shoot: pen}
 
 	// Serialize on the Cpage: concurrent faults on the same page queue,
@@ -87,6 +120,8 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	if cp.busyUntil > cur {
 		cp.Stats.HandlerWait += cp.busyUntil - cur
 		s.fc.queue += cp.busyUntil - cur
+		s.spanChild(span.Span{Kind: span.KindQueueWait, Start: cur, End: cp.busyUntil,
+			Proc: proc, Page: cp.id, Cause: sim.CauseQueue, Self: cp.busyUntil - cur})
 		cur = cp.busyUntil
 	}
 	if cp.home != proc {
@@ -107,6 +142,9 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 		c, cur, lockEnd, err = s.handleRead(e, cp, proc, now, cur)
 	}
 	if err != nil {
+		s.spanAbort(now, span.Span{ID: rootID, Kind: span.KindFault,
+			Proc: proc, Track: t.ID(), Page: cp.id, Cause: sim.CauseFault,
+			State: cp.state.String(), DirMask: cp.dirMask, Note: note + ": " + err.Error()})
 		return Copy{}, err
 	}
 	// The handler releases the Cpage lock before a replication's block
@@ -135,6 +173,14 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	t.Attribute(sim.CauseSlowAck, s.fc.ack)
 	t.Attribute(sim.CauseRetry, s.fc.stall)
 	t.Attribute(sim.CauseFault, total-s.fc.queue-s.fc.shoot-s.fc.xfer-s.fc.ack-s.fc.stall)
+	// Root fault span: its Self is the fault-overhead time no child span
+	// carries (handler remainder, e.g. the remote-kernel-data penalty),
+	// so per-cause Self sums stay exactly equal to the Account totals.
+	s.rec.Record(span.Span{ID: rootID, Kind: span.KindFault, Start: now, End: cur,
+		Proc: proc, Track: t.ID(), Page: cp.id, Cause: sim.CauseFault,
+		Self:  total - s.fc.queue - s.fc.shoot - s.fc.xfer - s.fc.ack - s.fc.stall - s.fcSpanned,
+		State: cp.state.String(), DirMask: cp.dirMask, Note: note})
+	s.spanFlush()
 	t.Advance(total)
 	return c, nil
 }
@@ -148,7 +194,13 @@ func (s *System) localIPTLookup(cp *Cpage, proc int, cur sim.Time) (frame int, n
 	if !ok {
 		return phys.NoFrame, cur, invariantErr(cp, "directory claims copy on module %d but IPT lookup failed", proc)
 	}
-	return fr, cur + sim.Time(probes)*s.machine.Config().LocalRead, nil
+	d := sim.Time(probes) * s.machine.Config().LocalRead
+	if d > 0 {
+		s.spanChild(span.Span{Kind: span.KindIPTLookup, Start: cur, End: cur + d,
+			Proc: proc, Page: cp.id, Cause: sim.CauseFault, Self: d,
+			Note: fmt.Sprintf("%d probes", probes)})
+	}
+	return fr, cur + d, nil
 }
 
 // allocFrame allocates a frame for cp on module mod, charging the fixed
@@ -165,6 +217,8 @@ func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur
 		cp.Stats.AllocFails++
 		return phys.NoFrame, cur, false
 	}
+	s.spanChild(span.Span{Kind: span.KindFrameAlloc, Start: cur, End: cur + s.cfg.FrameAlloc,
+		Proc: mod, Page: cp.id, Cause: sim.CauseFault, Self: s.cfg.FrameAlloc})
 	return fr, cur + s.cfg.FrameAlloc, true
 }
 
@@ -173,7 +227,7 @@ func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur
 // (including queueing for the source and destination modules) is
 // recorded as block-transfer cost in the fault decomposition; any
 // injected stall is recorded separately so it lands on CauseRetry.
-func (s *System) copyPage(src, dst Copy, cur sim.Time) sim.Time {
+func (s *System) copyPage(cp *Cpage, src, dst Copy, cur sim.Time) sim.Time {
 	words := s.machine.Config().PageWords
 	d := s.machine.BlockTransferAt(cur, src.Module, dst.Module, words)
 	var stall sim.Time
@@ -182,6 +236,13 @@ func (s *System) copyPage(src, dst Copy, cur sim.Time) sim.Time {
 	}
 	s.fc.xfer += d
 	s.fc.stall += stall
+	s.spanChild(span.Span{Kind: span.KindBlockTransfer, Start: cur, End: cur + d,
+		Proc: dst.Module, Page: cp.id, Cause: sim.CauseBlockTransfer, Self: d,
+		Note: fmt.Sprintf("module %d->%d", src.Module, dst.Module)})
+	if stall > 0 {
+		s.spanChild(span.Span{Kind: span.KindStall, Start: cur + d, End: cur + d + stall,
+			Proc: dst.Module, Page: cp.id, Cause: sim.CauseRetry, Self: stall})
+	}
 	copy(s.mem.Module(dst.Module).Words(dst.Frame), s.mem.Module(src.Module).Words(src.Frame))
 	return cur + d + stall
 }
@@ -215,6 +276,8 @@ func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) (sim.Time, error) {
 	}
 	s.mem.Module(c.Module).Free(c.Frame)
 	s.fc.shoot += s.cfg.FrameFree
+	s.spanChild(span.Span{Kind: span.KindFrameFree, Start: cur, End: cur + s.cfg.FrameFree,
+		Proc: mod, Page: cp.id, Cause: sim.CauseShootdown, Self: s.cfg.FrameFree})
 	return cur + s.cfg.FrameFree, nil
 }
 
@@ -264,6 +327,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 			rights = Read | Write
 		}
 		cm.installTranslation(proc, e, c, rights)
+		s.spanMapUpdate(cp, proc, cur)
 		return c, cur + s.cfg.MapInstall, 0, nil
 	}
 
@@ -274,6 +338,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 		}
 		cp.state = Present1
 		cm.installTranslation(proc, e, c, Read)
+		s.spanMapUpdate(cp, proc, cur)
 		return c, cur + s.cfg.MapInstall, 0, nil
 	}
 
@@ -290,10 +355,12 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 				// counting it would make any written page look
 				// write-shared. Interference is recorded where mappings
 				// are destroyed (migration and copy reclamation).
+				s.roundBegin()
 				d, _ := s.shootdownCpage(cp, proc, now, true, false, affectWriters)
 				ack := s.drainInjAck()
 				s.fc.shoot += d - ack
 				s.fc.ack += ack
+				s.roundRecord(cur, d, cp, proc, "restrict")
 				cur += d
 				cp.state = Present1
 				cp.writers = 0
@@ -315,8 +382,9 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 				cp.Stats.Thaws++
 			}
 			cm.installTranslation(proc, e, dst, Read)
+			s.spanMapUpdate(cp, proc, cur)
 			lockEnd := cur + s.cfg.MapInstall
-			cur = s.copyPage(src, dst, lockEnd)
+			cur = s.copyPage(cp, src, dst, lockEnd)
 			return dst, cur, lockEnd, nil
 		}
 		// No local frames: fall through to a remote mapping.
@@ -343,6 +411,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 	cp.Stats.RemoteMaps++
 	s.trace(cur, EvRemoteMap, proc, cp)
 	cm.installTranslation(proc, e, src, rights)
+	s.spanMapUpdate(cp, proc, cur)
 	return src, cur + s.cfg.MapInstall, 0, nil
 }
 
@@ -358,6 +427,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 		cp.state = Modified
 		cp.writers = 1 << uint(proc)
 		cm.installTranslation(proc, e, c, Read|Write)
+		s.spanMapUpdate(cp, proc, cur)
 		return c, cur + s.cfg.MapInstall, nil
 	}
 
@@ -383,6 +453,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 		cp.state = Modified
 		cp.writers |= 1 << uint(proc)
 		cm.installTranslation(proc, e, local, Read|Write)
+		s.spanMapUpdate(cp, proc, cur)
 		return local, cur + s.cfg.MapInstall, nil
 	}
 
@@ -393,14 +464,16 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 			cur = nc
 			// Migrate: every existing translation points at a copy that
 			// is about to disappear, so invalidate them all.
+			s.roundBegin()
 			d, _ := s.shootdownCpage(cp, proc, now, false, true, affectAll)
 			ack := s.drainInjAck()
 			s.fc.shoot += d - ack
 			s.fc.ack += ack
+			s.roundRecord(cur, d, cp, proc, "migrate")
 			cur += d
 			src := s.chooseSource(cp)
 			dst := Copy{Module: proc, Frame: fr}
-			cur = s.copyPage(src, dst, cur)
+			cur = s.copyPage(cp, src, dst, cur)
 			for len(cp.copies) > 0 {
 				var err error
 				cur, err = s.freeCopy(cp, cp.copies[0].Module, cur)
@@ -421,6 +494,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 				cp.Stats.Thaws++
 			}
 			cm.installTranslation(proc, e, dst, Read|Write)
+			s.spanMapUpdate(cp, proc, cur)
 			return dst, cur + s.cfg.MapInstall, nil
 		}
 	}
@@ -441,6 +515,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 	cp.Stats.RemoteMaps++
 	s.trace(cur, EvRemoteMap, proc, cp)
 	cm.installTranslation(proc, e, keep, Read|Write)
+	s.spanMapUpdate(cp, proc, cur)
 	return keep, cur + s.cfg.MapInstall, nil
 }
 
@@ -453,11 +528,13 @@ func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cu
 	if len(cp.copies) <= 1 {
 		return cur, nil
 	}
+	s.roundBegin()
 	d, _ := s.shootdownCpage(cp, initiator, now, false, true,
 		func(_ int, pe pmapEntry) bool { return pe.copy.Module != keep.Module })
 	ack := s.drainInjAck()
 	s.fc.shoot += d - ack
 	s.fc.ack += ack
+	s.roundRecord(cur, d, cp, initiator, "reclaim")
 	cur += d
 	for _, c := range append([]Copy(nil), cp.copies...) {
 		if c.Module != keep.Module {

@@ -64,11 +64,14 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 		}
 		if cm.Active(proc) {
 			// Interrupt the target and apply the change now.
+			var step sim.Time
 			if prior+interrupted == 0 {
-				delay += s.cfg.ShootdownSync
+				step = s.cfg.ShootdownSync
 			} else {
-				delay += s.machine.Config().InterruptDispatch
+				step = s.machine.Config().InterruptDispatch
 			}
+			delay += step
+			var ackd sim.Time
 			if s.inj != nil {
 				// Injected slow acknowledgement: the target stalls before
 				// acking, stretching the initiator's wait. Recorded in
@@ -77,9 +80,12 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 				if a := s.inj.AckDelay(initiator, proc); a > 0 {
 					delay += a
 					s.injAck += a
+					ackd = a
 				}
 			}
 			interrupted++
+			// Per-target scratch for the round's span tree (see span.go).
+			s.sdTargets = append(s.sdTargets, sdTarget{proc: proc, cost: step, ack: ackd})
 			s.penalty[proc] += s.machine.Config().InterruptHandle
 			if restrict {
 				cm.restrictTranslation(proc, e.vpn)

@@ -22,7 +22,22 @@ const (
 	EvRemoteMap
 	EvFreeze
 	EvThaw
+
+	// evKindCount counts the kinds above; adding a kind without naming
+	// it in String trips the exhaustiveness test.
+	evKindCount
 )
+
+// EventKinds returns every event kind, in declaration order, for code
+// that iterates over all kinds (summaries, exhaustiveness tests)
+// without hard-coding the first and last kind.
+func EventKinds() []EventKind {
+	kinds := make([]EventKind, evKindCount)
+	for i := range kinds {
+		kinds[i] = EventKind(i)
+	}
+	return kinds
+}
 
 // String returns the hyphenated event name used in trace listings and
 // the timeline JSONL export (e.g. "read-fault").

@@ -73,10 +73,20 @@ func TestTraceDisabledByDefault(t *testing.T) {
 }
 
 func TestEventKindStrings(t *testing.T) {
-	for k := EvReadFault; k <= EvThaw; k++ {
-		if k.String() == "event(?)" {
+	kinds := EventKinds()
+	if len(kinds) == 0 {
+		t.Fatal("EventKinds returned nothing")
+	}
+	seen := map[string]EventKind{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "event(?)" {
 			t.Errorf("kind %d has no name", k)
 		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
 	}
 	if EventKind(99).String() != "event(?)" {
 		t.Error("unknown kind not handled")

@@ -18,6 +18,7 @@ import (
 	"platinum/internal/core"
 	"platinum/internal/mach"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 	"platinum/internal/vm"
 )
 
@@ -100,6 +101,10 @@ func Boot(cfg Config) (*Kernel, error) {
 		mgr:     vm.NewManager(sys),
 		ports:   make(map[string]*Port),
 	}
+	// One recorder per machine: the hardware layer's spans (migration
+	// transfers, injected retries) land in the same flight ring and
+	// export stream as the protocol's.
+	m.SetSpanRecorder(sys.Spans())
 	sys.StartDefrostDaemon(cfg.DefrostProc)
 	return k, nil
 }
@@ -220,3 +225,12 @@ func (k *Kernel) EnableTrace(capacity int) { k.sys.EnableTrace(capacity) }
 
 // Trace returns recorded protocol events and the overflow count.
 func (k *Kernel) Trace() ([]core.Event, int64) { return k.sys.Trace() }
+
+// EnableSpans starts retaining every causal span for export (the
+// bounded flight-recorder ring is always on regardless); capacity <= 0
+// selects a generous default bound. Call before Run so the recording
+// is complete and reconciles with the Account totals.
+func (k *Kernel) EnableSpans(capacity int) { k.sys.Spans().EnableRetain(capacity) }
+
+// Spans returns the machine's causal span recorder.
+func (k *Kernel) Spans() *span.Recorder { return k.sys.Spans() }

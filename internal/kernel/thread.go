@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // Thread is a kernel-scheduled thread of control (§1.1): bound to a
@@ -22,6 +23,11 @@ type Thread struct {
 	done    bool
 	waiters []*Thread
 	inbox   [][]uint32 // message handoff slot for port receives
+
+	// sliceStart is when the thread's current scheduling slice (its
+	// residence on t.proc) began; Migrate closes the slice's span and
+	// opens a new one on the destination processor.
+	sliceStart sim.Time
 }
 
 // Spawn creates a thread named name on processor proc in space sp. The
@@ -34,8 +40,10 @@ func (k *Kernel) Spawn(name string, proc int, sp *Space, body func(*Thread)) *Th
 	t := &Thread{k: k, proc: proc, space: sp}
 	t.st = k.engine.Spawn(name, func(st *sim.Thread) {
 		st.BindNode(t.proc)
+		t.sliceStart = st.Now()
 		sp.vs.Cmap().Activate(st, t.proc)
 		defer func() {
+			t.recordSlice()
 			sp.vs.Cmap().Deactivate(t.proc)
 			t.done = true
 			for _, w := range t.waiters {
@@ -46,6 +54,17 @@ func (k *Kernel) Spawn(name string, proc int, sp *Space, body func(*Thread)) *Th
 		body(t)
 	})
 	return t
+}
+
+// recordSlice closes the thread's current scheduling-slice span: its
+// residence on one processor, from spawn or last migration to now.
+// Slices are structural (no attributed cost of their own) — they give
+// the trace one enclosing track interval per processor residency, with
+// the thread's faults, transfers and shootdowns nested inside.
+func (t *Thread) recordSlice() {
+	t.k.sys.Spans().Record(span.Span{Kind: span.KindSlice,
+		Start: t.sliceStart, End: t.st.Now(),
+		Proc: t.proc, Track: t.st.ID(), Page: -1, Note: t.st.Name()})
 }
 
 // Kernel returns the owning kernel.
@@ -79,12 +98,16 @@ func (t *Thread) Migrate(proc int) {
 		return
 	}
 	old := t.proc
+	t.recordSlice()
 	t.space.vs.Cmap().Deactivate(old)
 	t.st.Charge(sim.CauseKernel, t.k.cfg.MigrateOverhead)
 	t.k.machine.BlockTransfer(t.st, old, proc, t.k.PageWords())
 	t.proc = proc
 	// Future charges accrue to the new processor; history stays put.
 	t.st.BindNode(proc)
+	// The migration gap (overhead + stack transfer) sits between the
+	// old processor's slice and the new one.
+	t.sliceStart = t.st.Now()
 	t.space.vs.Cmap().Activate(t.st, proc)
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // Config holds the hardware cost parameters of the simulated machine.
@@ -150,6 +151,12 @@ type Machine struct {
 	// accessFault, when set, injects a transient busy/retry delay into
 	// word accesses (see SetAccessFault). nil in normal operation.
 	accessFault func(proc, mod int) sim.Time
+
+	// rec, when set, records causal spans for the hardware costs mach
+	// charges directly: injected access retries and the block transfer
+	// of a migrating thread's kernel stack. The kernel wires it to the
+	// coherent memory system's recorder at boot.
+	rec *span.Recorder
 }
 
 // Module is one memory module. Requests serialize at the module: any
@@ -222,6 +229,11 @@ func (m *Machine) wordCost(proc, mod, n int, write bool) (lat, occ sim.Time) {
 // given call sequence or simulation runs stop being reproducible.
 func (m *Machine) SetAccessFault(f func(proc, mod int) sim.Time) { m.accessFault = f }
 
+// SetSpanRecorder directs the machine's causal spans (injected access
+// retries, thread-migration block transfers) to r. Recording is pure
+// bookkeeping and cannot affect timing or dispatch order.
+func (m *Machine) SetSpanRecorder(r *span.Recorder) { m.rec = r }
+
 // Access charges thread t for n word accesses from processor proc to
 // memory module mod, queueing at the module if it is busy. It returns
 // the total delay experienced (queueing + latency). The latency is
@@ -255,6 +267,14 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 	t.Attribute(sim.CauseQueue, queue)
 	t.Attribute(cause, lat)
 	t.Attribute(sim.CauseRetry, retry)
+	if retry > 0 && m.rec != nil {
+		// Injected transient-busy retry: span it so CauseRetry
+		// reconciles between spans and accounting.
+		at := t.Now() + queue + lat
+		m.rec.Record(span.Span{Kind: span.KindRetry, Start: at, End: at + retry,
+			Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseRetry, Self: retry,
+			Note: fmt.Sprintf("module %d busy", mod)})
+	}
 	total := queue + lat + retry
 	t.Advance(total)
 	return total
@@ -330,6 +350,13 @@ func (m *Machine) blockTransferAt(t *sim.Thread, now sim.Time, src, dst, words i
 		// for busy modules is contention, the transfer itself T_b cost.
 		t.Attribute(sim.CauseQueue, queue)
 		t.Attribute(sim.CauseBlockTransfer, dur)
+		if m.rec != nil {
+			m.rec.Record(span.Span{Kind: span.KindBlockTransfer,
+				Start: now + queue, End: now + queue + dur,
+				Proc: dst, Track: t.ID(), Page: -1,
+				Cause: sim.CauseBlockTransfer, Self: dur,
+				Note: fmt.Sprintf("stack %d->%d", src, dst)})
+		}
 		t.Advance(total)
 	}
 	return total

@@ -1,0 +1,397 @@
+// Package span records hierarchical, causally-linked spans of the
+// coherent memory protocol's operations — §9's "instrumentation for
+// performance monitoring, analysis, and visualization" as a timeline
+// rather than a counter. Where internal/sim's cost attribution answers
+// *how much* time each cause consumed and internal/trace's events
+// answer *when* protocol actions happened, spans answer *why*: which
+// fault triggered which shootdown rounds, which processors were
+// interrupted, which block transfer the fault waited on, and which
+// defrost sweep thawed which pages.
+//
+// Recording is pure bookkeeping on the recording thread: it never
+// advances a clock, never yields, and never touches the simulation
+// engine, so enabling it cannot change dispatch order or any
+// simulation result (the same guarantee internal/sim's Account layer
+// makes, and the same determinism tests enforce it).
+//
+// Two retention modes run side by side:
+//
+//   - a bounded flight-recorder ring holding the most recent spans,
+//     always on and cheap enough for default-on, dumped when an
+//     invariant trips (see internal/stress);
+//   - an optional retained buffer (EnableRetain) holding every span for
+//     export as Chrome trace-event JSON (WriteChrome), loadable in
+//     Perfetto or chrome://tracing.
+//
+// Every span carries a Cause and the slice of its duration it alone
+// attributes to that cause (Self). For the protocol causes the fault
+// path charges — fault overhead, shootdown, block transfer, injected
+// stalls and slow acks — the per-cause sum of Self over a complete
+// span set reconciles exactly with the engine's Account totals
+// (Reconcile), making spans and accounting mutually-verifying views of
+// the same simulation.
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"platinum/internal/sim"
+)
+
+// ID identifies a recorded span. Zero means "no span" (no parent).
+type ID int64
+
+// None is the zero ID: no span.
+const None ID = 0
+
+// Kind classifies a span.
+type Kind uint8
+
+// Span kinds, mirroring the protocol's causal structure: a fault opens
+// a tree of directory lookups, shootdown rounds (with per-processor
+// targets and acks), block transfers and map updates; the defrost
+// daemon opens sweep → thaw trees; the kernel records one scheduling
+// slice per thread per processor.
+const (
+	// KindFault is one coherent page fault, entry to completion.
+	KindFault Kind = iota
+	// KindDirLookup is the fault handler's entry: Cmap lookup, Cpage
+	// directory lock (the FaultBase overhead).
+	KindDirLookup
+	// KindQueueWait is time a fault spent queued on the per-Cpage
+	// handler lock (the paper's per-page contention measure).
+	KindQueueWait
+	// KindIPTLookup is an inverted-page-table probe for a local copy.
+	KindIPTLookup
+	// KindFrameAlloc is a frame allocation (IPT search + directory
+	// update).
+	KindFrameAlloc
+	// KindFrameFree is a frame reclamation during a shootdown (§4's
+	// 10 µs component of the per-extra-target cost).
+	KindFrameFree
+	// KindShootdown is one shootdown round across every address space
+	// mapping a Cpage. Its Self covers the Cmap message posts; the
+	// per-target synchronization cost is on KindShootTarget children.
+	KindShootdown
+	// KindShootTarget is the initiator-side cost of one interrupted
+	// target processor (ShootdownSync for the first, InterruptDispatch
+	// for each additional one).
+	KindShootTarget
+	// KindAck is an injected slow interprocessor-interrupt
+	// acknowledgement stretching the initiator's wait (CauseSlowAck).
+	KindAck
+	// KindBlockTransfer is a hardware block transfer (replication,
+	// migration, or a migrating thread's kernel stack).
+	KindBlockTransfer
+	// KindStall is an injected block-transfer stall (CauseRetry).
+	KindStall
+	// KindMapUpdate is the Pmap/ATC map install completing a fault.
+	KindMapUpdate
+	// KindIRQPenalty is the deferred cost of interrupts a processor
+	// fielded for other processors' shootdowns, folded into its next
+	// memory operation.
+	KindIRQPenalty
+	// KindATCReload is an address-translation-cache reload from the
+	// Pmap after an ATC miss that did not escalate to a fault.
+	KindATCReload
+	// KindMsgApply is a processor applying queued Cmap messages on
+	// address-space activation (the lazy half of the shootdown).
+	KindMsgApply
+	// KindRetry is an injected transient busy/retry delay on a word
+	// access (CauseRetry, fault-injection harnesses only).
+	KindRetry
+	// KindDefrostSweep is one defrost daemon sweep over the frozen list.
+	KindDefrostSweep
+	// KindThaw is the sweep's decision to thaw one frozen page,
+	// enclosing the shootdown round that invalidates its mappings.
+	KindThaw
+	// KindSlice is a kernel thread's scheduling slice: its lifetime on
+	// one processor, split by Migrate.
+	KindSlice
+
+	numKinds // sentinel: count of span kinds
+)
+
+// String returns the kind's stable hyphenated name, used as the event
+// name in Chrome trace exports and flight-recorder dumps.
+func (k Kind) String() string {
+	switch k {
+	case KindFault:
+		return "fault"
+	case KindDirLookup:
+		return "dir-lookup"
+	case KindQueueWait:
+		return "queue-wait"
+	case KindIPTLookup:
+		return "ipt-lookup"
+	case KindFrameAlloc:
+		return "frame-alloc"
+	case KindFrameFree:
+		return "frame-free"
+	case KindShootdown:
+		return "shootdown"
+	case KindShootTarget:
+		return "shoot-target"
+	case KindAck:
+		return "ack"
+	case KindBlockTransfer:
+		return "block-transfer"
+	case KindStall:
+		return "stall"
+	case KindMapUpdate:
+		return "map-update"
+	case KindIRQPenalty:
+		return "irq-penalty"
+	case KindATCReload:
+		return "atc-reload"
+	case KindMsgApply:
+		return "msg-apply"
+	case KindRetry:
+		return "retry"
+	case KindDefrostSweep:
+		return "defrost-sweep"
+	case KindThaw:
+		return "thaw"
+	case KindSlice:
+		return "slice"
+	}
+	return "span(?)"
+}
+
+// Kinds returns every span kind, for exhaustiveness tests and export
+// legends.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Span is one completed span: a [Start, End) interval of virtual time
+// on one track (simulated thread), causally linked to a parent span,
+// annotated with the page, processor and protocol state involved, and
+// carrying the slice of charged time it attributes to its Cause.
+type Span struct {
+	ID     ID
+	Parent ID // enclosing span, or None
+
+	Kind       Kind
+	Start, End sim.Time
+
+	Proc  int   // processor involved (-1 when not applicable)
+	Track int   // sim thread id whose virtual time the span occupies
+	Page  int64 // coherent page id (-1 when not applicable)
+
+	// Cause and Self: the portion of the owning thread's charged time
+	// this span (excluding its children) attributes to Cause. Summed
+	// per cause over a complete recording, these reconcile exactly with
+	// the engine's Account totals for the protocol causes (Reconcile).
+	// Structural spans (slices, sweeps) carry CauseUnattributed and a
+	// zero Self.
+	Cause sim.Cause
+	Self  sim.Time
+
+	State   string // page protocol state tag ("" when not applicable)
+	DirMask uint64 // page directory bitmask at record time
+	Note    string // cause tag: "write-fault", "migrate", thread name, ...
+}
+
+// Dur returns the span's duration.
+func (sp Span) Dur() sim.Time { return sp.End - sp.Start }
+
+// DefaultFlightSpans is the flight-recorder ring capacity used when a
+// Recorder is built with NewRecorder(0): small enough to be free, large
+// enough to hold the full causal tree of the last several faults.
+const DefaultFlightSpans = 256
+
+// Recorder collects spans. The flight ring is always on; the retained
+// buffer only fills between EnableRetain and DisableRetain. A Recorder
+// is not safe for concurrent use — like the rest of the simulator, it
+// relies on the engine running one thread at a time.
+type Recorder struct {
+	next ID
+
+	ring  []Span // flight recorder ring, len == cap once full
+	head  int    // next overwrite position
+	rcap  int
+	total int64 // spans ever recorded
+
+	retaining bool
+	retain    []Span
+	retainCap int
+	dropped   int64 // spans not retained because the buffer was full
+}
+
+// NewRecorder returns a recorder whose flight ring holds flightCap
+// spans (DefaultFlightSpans if flightCap <= 0).
+func NewRecorder(flightCap int) *Recorder {
+	if flightCap <= 0 {
+		flightCap = DefaultFlightSpans
+	}
+	return &Recorder{ring: make([]Span, 0, flightCap), rcap: flightCap}
+}
+
+// Alloc reserves a span ID before the span completes, so children can
+// be recorded with their Parent link while the parent is still open.
+func (r *Recorder) Alloc() ID {
+	r.next++
+	return r.next
+}
+
+// Record stores one completed span, assigning an ID if the caller did
+// not Alloc one. It returns the span's ID.
+func (r *Recorder) Record(sp Span) ID {
+	if sp.ID == None {
+		sp.ID = r.Alloc()
+	}
+	r.total++
+	if len(r.ring) < r.rcap {
+		r.ring = append(r.ring, sp)
+	} else {
+		r.ring[r.head] = sp
+		r.head = (r.head + 1) % r.rcap
+	}
+	if r.retaining {
+		if len(r.retain) < r.retainCap {
+			r.retain = append(r.retain, sp)
+		} else {
+			r.dropped++
+		}
+	}
+	return sp.ID
+}
+
+// EnableRetain starts retaining every recorded span, up to capacity
+// (a safety bound against runaway exports; reaching it counts drops
+// rather than growing without limit). Calling it again resets the
+// retained buffer and the drop count.
+func (r *Recorder) EnableRetain(capacity int) {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	r.retaining = true
+	r.retainCap = capacity
+	r.retain = nil
+	r.dropped = 0
+}
+
+// DisableRetain stops retaining and discards the retained buffer. The
+// flight ring keeps recording.
+func (r *Recorder) DisableRetain() {
+	r.retaining = false
+	r.retain = nil
+	r.dropped = 0
+}
+
+// Retaining reports whether a retained export buffer is active.
+func (r *Recorder) Retaining() bool { return r.retaining }
+
+// Spans returns a copy of the retained spans sorted by start time
+// (ties by ID, which is completion order).
+func (r *Recorder) Spans() []Span {
+	out := append([]Span(nil), r.retain...)
+	sortSpans(out)
+	return out
+}
+
+// Flight returns the flight ring's contents, oldest first.
+func (r *Recorder) Flight() []Span {
+	if len(r.ring) < r.rcap {
+		return append([]Span(nil), r.ring...)
+	}
+	out := make([]Span, 0, r.rcap)
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out
+}
+
+// Total returns how many spans have ever been recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Dropped returns how many spans the retained buffer rejected for
+// capacity. A nonzero value means Spans() is incomplete and Reconcile
+// over it would be meaningless.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// sortSpans orders spans by start time, then ID.
+func sortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}
+
+// Format writes spans as an indented text listing — the flight-recorder
+// dump format. Spans are ordered by start time; children indent under
+// the nearest enclosing recorded parent.
+func Format(w io.Writer, spans []Span) (int64, error) {
+	ordered := append([]Span(nil), spans...)
+	sortSpans(ordered)
+	depth := make(map[ID]int, len(ordered))
+	var n int64
+	for _, sp := range ordered {
+		d := 0
+		if sp.Parent != None {
+			if pd, ok := depth[sp.Parent]; ok {
+				d = pd + 1
+			}
+		}
+		depth[sp.ID] = d
+		k, err := fmt.Fprintf(w, "%*s%v", 2*d, "", sp.Kind)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if sp.Note != "" {
+			k, err = fmt.Fprintf(w, " (%s)", sp.Note)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+		k, err = fmt.Fprintf(w, " [%v +%v]", sp.Start, sp.Dur())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if sp.Page >= 0 {
+			k, err = fmt.Fprintf(w, " page=%d", sp.Page)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+		if sp.Proc >= 0 {
+			k, err = fmt.Fprintf(w, " proc=%d", sp.Proc)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+		if sp.State != "" {
+			k, err = fmt.Fprintf(w, " state=%s dirMask=%b", sp.State, sp.DirMask)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+		if sp.Self != 0 {
+			k, err = fmt.Fprintf(w, " %v=%v", sp.Cause, sp.Self)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+		k, err = fmt.Fprintln(w)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -102,7 +102,8 @@ func Replay(cfg Config, ops []Op) *Result {
 		for i, op := range ops {
 			opIdx = i
 			if err := w.step(th, op, res); err != nil {
-				res.Failure = &Failure{Seed: cfg.Seed, OpIndex: i, Op: op, Err: err, Ops: ops}
+				res.Failure = &Failure{Seed: cfg.Seed, OpIndex: i, Op: op, Err: err, Ops: ops,
+					Flight: w.k.Spans().Flight()}
 				return
 			}
 			res.OpsRun++
@@ -112,7 +113,8 @@ func Replay(cfg Config, ops []Op) *Result {
 		// A panic that escaped the hardening pass (or a deadlock)
 		// surfaces as an engine error; report it against the op that was
 		// executing.
-		f := &Failure{Seed: cfg.Seed, OpIndex: opIdx, Err: err, Ops: ops}
+		f := &Failure{Seed: cfg.Seed, OpIndex: opIdx, Err: err, Ops: ops,
+			Flight: w.k.Spans().Flight()}
 		if opIdx >= 0 && opIdx < len(ops) {
 			f.Op = ops[opIdx]
 		}
@@ -122,7 +124,8 @@ func Replay(cfg Config, ops []Op) *Result {
 	w.collect(res)
 	if res.Failure == nil {
 		if err := w.checkFrames(); err != nil {
-			res.Failure = &Failure{Seed: cfg.Seed, OpIndex: len(ops) - 1, Err: err, Ops: ops}
+			res.Failure = &Failure{Seed: cfg.Seed, OpIndex: len(ops) - 1, Err: err, Ops: ops,
+				Flight: w.k.Spans().Flight()}
 		}
 	}
 	return res

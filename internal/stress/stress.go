@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // OpKind enumerates the operations a stress schedule is built from.
@@ -190,6 +191,12 @@ type Failure struct {
 	Op      Op
 	Err     error
 	Ops     []Op
+
+	// Flight is the always-on flight recorder's contents at the moment
+	// of failure: the last span.DefaultFlightSpans causal spans
+	// (faults, shootdown rounds, transfers, defrost sweeps) leading up
+	// to the violation, oldest first.
+	Flight []span.Span
 }
 
 // Error summarizes the failure in one line.
@@ -211,6 +218,10 @@ func (f *Failure) Repro() string {
 			marker = "=>"
 		}
 		fmt.Fprintf(&b, "%s %4d: %s\n", marker, i, op)
+	}
+	if len(f.Flight) > 0 {
+		fmt.Fprintf(&b, "flight recorder (last %d spans before the failure):\n", len(f.Flight))
+		span.Format(&b, f.Flight)
 	}
 	return b.String()
 }

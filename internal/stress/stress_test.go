@@ -120,6 +120,15 @@ func TestDesyncBugCaughtAndShrunk(t *testing.T) {
 	if re := Replay(cfg, res.Failure.Ops); re.Failure == nil {
 		t.Error("shrunk reproducer does not reproduce")
 	}
+	// The reproducer ships with the flight recorder's causal trace of
+	// the spans leading up to the violation.
+	if len(res.Failure.Flight) == 0 {
+		t.Error("failure carries no flight-recorder spans")
+	}
+	repro := res.Failure.Repro()
+	if !strings.Contains(repro, "flight recorder") {
+		t.Errorf("Repro does not include the flight dump:\n%s", repro)
+	}
 }
 
 // TestShrinkNoFailure: shrinking a passing schedule reports no failure.

@@ -41,7 +41,7 @@ func (s Summary) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	for kind := core.EvReadFault; kind <= core.EvThaw; kind++ {
+	for _, kind := range core.EventKinds() {
 		if c := s.ByKind[kind]; c > 0 {
 			k, err := fmt.Fprintf(w, "  %-12v %d\n", kind, c)
 			n += int64(k)

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench-snapshot.sh — record a performance snapshot of the simulator's
+# hot paths so perf regressions are visible as a diff.
+#
+# Runs the scheduler micro-benchmark (BenchmarkEngineStep) plus the two
+# end-to-end application benchmarks (BenchmarkFig1Gauss,
+# BenchmarkFig5MergeSort) and writes one JSON document per line of
+# `go test -bench` output:
+#
+#   {"name": ..., "ns_per_op": ..., "allocs_per_op": ..., "git_sha": ...}
+#
+# Usage (from the repository root):
+#
+#   ./scripts/bench-snapshot.sh [out.json]
+#
+# The default output file is BENCH_0.json; pass a different name (e.g.
+# BENCH_1.json after an optimization) and diff the two. Numbers are
+# host-dependent — compare snapshots only from the same machine.
+set -eu
+
+OUT=${1:-BENCH_0.json}
+SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+BENCHTIME=${BENCHTIME:-1s}
+
+echo "bench-snapshot: running benchmarks (benchtime $BENCHTIME)..."
+RAW=$(go test -run '^$' \
+	-bench '^(BenchmarkEngineStep|BenchmarkFig1Gauss|BenchmarkFig5MergeSort)$' \
+	-benchmem -benchtime "$BENCHTIME" .)
+
+echo "$RAW" | awk -v sha="$SHA" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+		ns = ""; allocs = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		if (ns != "")
+			printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"git_sha\": \"%s\"}\n",
+				name, ns, (allocs == "" ? 0 : allocs), sha
+	}
+' >"$OUT"
+
+if [ ! -s "$OUT" ]; then
+	echo "bench-snapshot: no benchmark results parsed" >&2
+	echo "$RAW" >&2
+	exit 1
+fi
+
+echo "bench-snapshot: wrote $(wc -l <"$OUT") entries to $OUT"
+cat "$OUT"

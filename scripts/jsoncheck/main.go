@@ -1,0 +1,31 @@
+// Command jsoncheck verifies that each argument file parses as JSON and
+// — when it is a Chrome trace-event document — that it contains at
+// least one trace event. Used by scripts/check-trace.sh so the CI gate
+// needs no tooling beyond the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+			os.Exit(1)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if events, ok := doc["traceEvents"].([]any); ok && len(events) == 0 {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: traceEvents is empty\n", path)
+			os.Exit(1)
+		}
+		fmt.Printf("jsoncheck: %s ok (%d bytes)\n", path, len(raw))
+	}
+}
