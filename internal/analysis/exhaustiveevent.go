@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerExhaustiveEvent generalizes the evKindCount sentinel test
+// from one String() exhaustiveness check into a tree-wide guarantee:
+// every switch over core.EventKind or span.Kind must either cover all
+// declared kinds or carry a default case. When a new protocol event or
+// span kind is added, every consumer that classifies kinds is then
+// forced — at vet time, not in a stress soak — to either handle it or
+// state explicitly (with default:) that the remaining kinds are
+// intentionally out of scope.
+//
+// The full kind set is computed from the type's defining package: its
+// exported constants of the switch tag's type. Unexported sentinels
+// (evKindCount, numKinds) are excluded by construction.
+var AnalyzerExhaustiveEvent = &Analyzer{
+	Name: "exhaustiveevent",
+	Doc:  "switches over core.EventKind and span.Kind must cover every kind or have a default",
+	Run:  runExhaustiveEvent,
+}
+
+// kindTypes describes the enum-like types the analyzer enforces, by
+// defining-package path suffix and type name.
+var kindTypes = []struct{ pkgSuffix, typeName string }{
+	{"internal/core", "EventKind"},
+	{"internal/span", "Kind"},
+}
+
+func runExhaustiveEvent(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkKindSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkKindSwitch validates one switch statement whose tag is a kind
+// type.
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	named := kindNamedType(pass.TypeOf(sw.Tag))
+	if named == nil {
+		return
+	}
+	covered := map[int64]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default case: subset switches are declared intentional
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(tv.Value); exact {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range kindConstants(named) {
+		v, _ := constant.Int64Val(c.Val())
+		if !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		obj := named.Obj()
+		pass.Reportf(sw.Pos(),
+			"switch on %s.%s is not exhaustive: missing %s (add the cases, or a default: stating the rest is out of scope)",
+			obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// kindNamedType returns t as a named kind type (core.EventKind or
+// span.Kind), or nil when t is anything else.
+func kindNamedType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	for _, kt := range kindTypes {
+		if named.Obj().Name() == kt.typeName && pathHasSuffix(named.Obj().Pkg().Path(), kt.pkgSuffix) {
+			return named
+		}
+	}
+	return nil
+}
+
+// kindConstants returns the exported constants of the named type
+// declared in its defining package, sorted by value. Unexported
+// sentinel counters are deliberately excluded.
+func kindConstants(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	var out []*types.Const
+	for _, name := range pkg.Scope().Names() {
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}

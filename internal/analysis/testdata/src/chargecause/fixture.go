@@ -1,0 +1,31 @@
+// Package chargecause is the fixture for the chargecause analyzer:
+// every way of minting an undeclared attribution bucket is flagged, and
+// every trusted flow of a declared cause is accepted.
+package chargecause
+
+import "platinum/internal/sim"
+
+// localCause is declared here, not in internal/sim: passing it would
+// create a bucket the metrics schema knows nothing about.
+const localCause sim.Cause = 3
+
+func bad(t *sim.Thread, d sim.Time) {
+	t.Charge(2, d)             // want `Charge called with a raw literal`
+	t.Charge(sim.Cause(2), d)  // want `Charge called with a Cause conversion`
+	t.Attribute(localCause, d) // want `Attribute called with constant localCause declared outside internal/sim`
+	t.Charge(pick(), d)        // want `Charge called with a cause computed by pick\(\)`
+	c := sim.Cause(1)
+	t.Charge(c, d) // want `Charge called with variable c assigned from a Cause conversion`
+}
+
+func good(t *sim.Thread, d sim.Time, p sim.Cause) {
+	t.Charge(sim.CauseCompute, d)
+	t.Charge(p, d) // parameter: trusted flow
+	c := sim.CauseFault
+	if d > 10 {
+		c = sim.CauseRetry
+	}
+	t.Charge(c, d) // every assignment to c is a declared constant
+}
+
+func pick() sim.Cause { return sim.CauseFault }

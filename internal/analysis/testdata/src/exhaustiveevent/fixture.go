@@ -1,0 +1,58 @@
+// Package exhaustiveevent is the fixture for the exhaustiveevent
+// analyzer: a switch over core.EventKind or span.Kind must cover every
+// exported kind or carry a default; other switch tags are out of scope.
+package exhaustiveevent
+
+import (
+	"platinum/internal/core"
+	"platinum/internal/span"
+)
+
+func missingEvent(k core.EventKind) int {
+	switch k { // want `switch on core\.EventKind is not exhaustive: missing EvFreeze`
+	case core.EvReadFault, core.EvWriteFault:
+		return 1
+	}
+	return 0
+}
+
+func missingSpan(k span.Kind) int {
+	switch k { // want `switch on span\.Kind is not exhaustive: missing KindSlice`
+	case span.KindFault:
+		return 1
+	}
+	return 0
+}
+
+func subsetWithDefault(k core.EventKind) int {
+	// A default case declares the subset intentional.
+	switch k {
+	case core.EvReadFault:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func full(k core.EventKind) string {
+	// Covering every exported kind needs no default; the unexported
+	// sentinel must not be demanded.
+	switch k {
+	case core.EvReadFault:
+		return "rf"
+	case core.EvWriteFault:
+		return "wf"
+	case core.EvFreeze:
+		return "fz"
+	}
+	return ""
+}
+
+func otherTag(n int) int {
+	// Switches over other types are not the analyzer's business.
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

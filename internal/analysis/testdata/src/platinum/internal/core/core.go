@@ -1,0 +1,25 @@
+// Package core is the fixture stub of the real internal/core: the
+// EventKind enum for the exhaustiveevent fixtures, including the
+// unexported sentinel that must stay out of the exhaustiveness set.
+package core
+
+// EventKind classifies a protocol event.
+type EventKind uint8
+
+// The declared event kinds. evKindCount is the unexported sentinel;
+// exhaustiveevent must never demand it in a switch.
+const (
+	EvReadFault EventKind = iota
+	EvWriteFault
+	EvFreeze
+	evKindCount
+)
+
+// EventKinds returns every declared kind.
+func EventKinds() []EventKind {
+	out := make([]EventKind, 0, int(evKindCount))
+	for k := EventKind(0); k < evKindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Package mach is the noprotocolpanic fixture: its import path ends in
+// internal/mach, so every call to the builtin panic is a finding and
+// error returns are the accepted alternative.
+package mach
+
+import "fmt"
+
+func bad(x int) {
+	if x < 0 {
+		panic("mach: negative module") // want `panic in a protocol path`
+	}
+}
+
+func worse(x int) {
+	defer panic(fmt.Sprintf("mach: deferred %d", x)) // want `panic in a protocol path`
+}
+
+func good(x int) error {
+	if x < 0 {
+		return fmt.Errorf("mach: negative module %d", x)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package spanpair is the fixture for the spanpair analyzer: a span
+// begun with span.Begin must be ended or handed off; discarding it,
+// binding it to _, or holding it in a local that is never ended and
+// never escapes are all findings.
+package spanpair
+
+import (
+	"platinum/internal/sim"
+	"platinum/internal/span"
+)
+
+type holder struct{ o *span.Open }
+
+func discarded(r *span.Recorder, now sim.Time) {
+	r.Begin(span.KindFault, now) // want `result of span Recorder\.Begin discarded`
+}
+
+func blank(r *span.Recorder, now sim.Time) {
+	_ = r.Begin(span.KindFault, now) // want `result of span Recorder\.Begin assigned to _`
+}
+
+func leaked(r *span.Recorder, now sim.Time) {
+	o := r.Begin(span.KindFault, now) // want `span Recorder\.Begin assigned to o but o\.End is never called and the span never escapes`
+	o.Note("open forever")
+}
+
+func paired(r *span.Recorder, now sim.Time) {
+	o := r.Begin(span.KindFault, now)
+	o.End(now + 1)
+}
+
+func deferred(r *span.Recorder, now sim.Time) {
+	o := r.Begin(span.KindSlice, now)
+	defer o.End(now + 1)
+}
+
+func closureEnd(r *span.Recorder, now sim.Time) {
+	o := r.Begin(span.KindFault, now)
+	done := func() { o.End(now + 2) }
+	done()
+}
+
+func handoffReturn(r *span.Recorder, now sim.Time) *span.Open {
+	// Returning the open span transfers ownership to the caller.
+	return r.Begin(span.KindSlice, now)
+}
+
+func handoffField(h *holder, r *span.Recorder, now sim.Time) {
+	// Storing into a field transfers ownership to the holder.
+	h.o = r.Begin(span.KindSlice, now)
+}
+
+func handoffCall(r *span.Recorder, now sim.Time) {
+	// Passing the span to another function transfers ownership.
+	o := r.Begin(span.KindSlice, now)
+	finish(o, now)
+}
+
+func finish(o *span.Open, now sim.Time) {
+	o.End(now + 3)
+}

@@ -1,0 +1,10 @@
+// Package suppressclean is the clean-suppression fixture: its only
+// finding is suppressed with a well-formed directive, so the run must
+// not fail — while still counting the suppression.
+package suppressclean
+
+import "platinum/internal/sim"
+
+func calibrate(t *sim.Thread, d sim.Time) {
+	t.Charge(7, d) //lint:ignore platinum/chargecause calibration constant from the seed harness
+}

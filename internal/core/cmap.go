@@ -173,21 +173,26 @@ func (cm *Cmap) Activate(t *sim.Thread, proc int) {
 		// Applying queued shootdown messages on activation is the lazy
 		// half of the shootdown protocol's cost.
 		now := t.Now()
-		cm.sys.rec.Record(span.Span{Kind: span.KindMsgApply, Start: now, End: now + cost,
-			Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: cost})
+		o := cm.sys.rec.Begin(span.KindMsgApply, now).Proc(proc).Track(t.ID()).
+			Attribute(sim.CauseShootdown, cost)
+		o.End(now + cost)
 		t.Charge(sim.CauseShootdown, cost)
 	}
 }
 
-// Deactivate undoes one Activate on proc.
-func (cm *Cmap) Deactivate(proc int) {
+// Deactivate undoes one Activate on proc. Deactivating a space that is
+// not active on proc is an activation-refcount invariant violation and
+// is returned as an error (the panic it used to be would kill a stress
+// harness before it could dump a reproducer).
+func (cm *Cmap) Deactivate(proc int) error {
 	if cm.actives[proc] == 0 {
-		panic(fmt.Sprintf("core: Deactivate of inactive cmap %d on proc %d", cm.id, proc))
+		return fmt.Errorf("core: Deactivate of inactive cmap %d on proc %d", cm.id, proc)
 	}
 	cm.actives[proc]--
 	if cm.actives[proc] == 0 {
 		cm.active &^= 1 << uint(proc)
 	}
+	return nil
 }
 
 // Active reports whether the space is active on proc.

@@ -24,10 +24,11 @@ type Thread struct {
 	waiters []*Thread
 	inbox   [][]uint32 // message handoff slot for port receives
 
-	// sliceStart is when the thread's current scheduling slice (its
-	// residence on t.proc) began; Migrate closes the slice's span and
-	// opens a new one on the destination processor.
-	sliceStart sim.Time
+	// slice is the open span of the thread's current scheduling slice
+	// (its residence on t.proc); Migrate ends it and begins a new one
+	// on the destination processor, and the spawn wrapper ends the last
+	// one when the body returns.
+	slice *span.Open
 }
 
 // Spawn creates a thread named name on processor proc in space sp. The
@@ -40,11 +41,13 @@ func (k *Kernel) Spawn(name string, proc int, sp *Space, body func(*Thread)) *Th
 	t := &Thread{k: k, proc: proc, space: sp}
 	t.st = k.engine.Spawn(name, func(st *sim.Thread) {
 		st.BindNode(t.proc)
-		t.sliceStart = st.Now()
+		t.beginSlice()
 		sp.vs.Cmap().Activate(st, t.proc)
 		defer func() {
-			t.recordSlice()
-			sp.vs.Cmap().Deactivate(t.proc)
+			t.endSlice()
+			if err := sp.vs.Cmap().Deactivate(t.proc); err != nil {
+				panic(fmt.Sprintf("kernel: %v", err))
+			}
 			t.done = true
 			for _, w := range t.waiters {
 				w.st.Unblock(st.Now())
@@ -56,16 +59,18 @@ func (k *Kernel) Spawn(name string, proc int, sp *Space, body func(*Thread)) *Th
 	return t
 }
 
-// recordSlice closes the thread's current scheduling-slice span: its
-// residence on one processor, from spawn or last migration to now.
-// Slices are structural (no attributed cost of their own) — they give
-// the trace one enclosing track interval per processor residency, with
-// the thread's faults, transfers and shootdowns nested inside.
-func (t *Thread) recordSlice() {
-	t.k.sys.Spans().Record(span.Span{Kind: span.KindSlice,
-		Start: t.sliceStart, End: t.st.Now(),
-		Proc: t.proc, Track: t.st.ID(), Page: -1, Note: t.st.Name()})
+// beginSlice opens the thread's scheduling-slice span: its residence on
+// one processor, from spawn or last migration until endSlice. Slices
+// are structural (no attributed cost of their own) — they give the
+// trace one enclosing track interval per processor residency, with the
+// thread's faults, transfers and shootdowns nested inside.
+func (t *Thread) beginSlice() {
+	t.slice = t.k.sys.Spans().Begin(span.KindSlice, t.st.Now()).
+		Proc(t.proc).Track(t.st.ID()).Note(t.st.Name())
 }
+
+// endSlice closes and records the current slice span.
+func (t *Thread) endSlice() { t.slice.End(t.st.Now()) }
 
 // Kernel returns the owning kernel.
 func (t *Thread) Kernel() *Kernel { return t.k }
@@ -98,8 +103,10 @@ func (t *Thread) Migrate(proc int) {
 		return
 	}
 	old := t.proc
-	t.recordSlice()
-	t.space.vs.Cmap().Deactivate(old)
+	t.endSlice()
+	if err := t.space.vs.Cmap().Deactivate(old); err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
 	t.st.Charge(sim.CauseKernel, t.k.cfg.MigrateOverhead)
 	t.k.machine.BlockTransfer(t.st, old, proc, t.k.PageWords())
 	t.proc = proc
@@ -107,7 +114,7 @@ func (t *Thread) Migrate(proc int) {
 	t.st.BindNode(proc)
 	// The migration gap (overhead + stack transfer) sits between the
 	// old processor's slice and the new one.
-	t.sliceStart = t.st.Now()
+	t.beginSlice()
 	t.space.vs.Cmap().Activate(t.st, proc)
 }
 

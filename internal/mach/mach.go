@@ -271,9 +271,9 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 		// Injected transient-busy retry: span it so CauseRetry
 		// reconciles between spans and accounting.
 		at := t.Now() + queue + lat
-		m.rec.Record(span.Span{Kind: span.KindRetry, Start: at, End: at + retry,
-			Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseRetry, Self: retry,
-			Note: fmt.Sprintf("module %d busy", mod)})
+		o := m.rec.Begin(span.KindRetry, at).Proc(proc).Track(t.ID()).
+			Attribute(sim.CauseRetry, retry).Note(fmt.Sprintf("module %d busy", mod))
+		o.End(at + retry)
 	}
 	total := queue + lat + retry
 	t.Advance(total)
@@ -351,11 +351,11 @@ func (m *Machine) blockTransferAt(t *sim.Thread, now sim.Time, src, dst, words i
 		t.Attribute(sim.CauseQueue, queue)
 		t.Attribute(sim.CauseBlockTransfer, dur)
 		if m.rec != nil {
-			m.rec.Record(span.Span{Kind: span.KindBlockTransfer,
-				Start: now + queue, End: now + queue + dur,
-				Proc: dst, Track: t.ID(), Page: -1,
-				Cause: sim.CauseBlockTransfer, Self: dur,
-				Note: fmt.Sprintf("stack %d->%d", src, dst)})
+			o := m.rec.Begin(span.KindBlockTransfer, now+queue).
+				Proc(dst).Track(t.ID()).
+				Attribute(sim.CauseBlockTransfer, dur).
+				Note(fmt.Sprintf("stack %d->%d", src, dst))
+			o.End(now + queue + dur)
 		}
 		t.Advance(total)
 	}

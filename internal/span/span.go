@@ -264,6 +264,64 @@ func (r *Recorder) Record(sp Span) ID {
 	return sp.ID
 }
 
+// Open is a span that has been begun but not yet ended: the structured
+// way to record an interval whose start and end are observed at
+// different points in the code (a scheduling slice, a transfer in
+// flight). Exactly one End must follow every Begin — the
+// platinum/spanpair analyzer enforces this statically — and nothing is
+// recorded until End, so an Open that is abandoned on an error path
+// costs nothing but its allocation (and a vet finding).
+type Open struct {
+	r    *Recorder
+	sp   Span
+	done bool
+}
+
+// Begin starts a span of the given kind at start. The returned Open
+// must be ended (or handed off to an owner that ends it); it records
+// nothing until then. Proc and Page default to -1 (not applicable).
+func (r *Recorder) Begin(kind Kind, start sim.Time) *Open {
+	return &Open{r: r, sp: Span{Kind: kind, Start: start, Proc: -1, Page: -1}}
+}
+
+// Parent links the span under an enclosing span.
+func (o *Open) Parent(id ID) *Open { o.sp.Parent = id; return o }
+
+// Proc sets the processor involved.
+func (o *Open) Proc(p int) *Open { o.sp.Proc = p; return o }
+
+// Track sets the sim thread id whose virtual time the span occupies.
+func (o *Open) Track(id int) *Open { o.sp.Track = id; return o }
+
+// Page sets the coherent page id.
+func (o *Open) Page(p int64) *Open { o.sp.Page = p; return o }
+
+// Note sets the free-form cause tag.
+func (o *Open) Note(n string) *Open { o.sp.Note = n; return o }
+
+// Attribute sets the cause and the slice of the span's duration it
+// alone attributes to that cause (the Span.Cause/Span.Self pair that
+// reconciliation sums).
+func (o *Open) Attribute(c sim.Cause, self sim.Time) *Open {
+	o.sp.Cause, o.sp.Self = c, self
+	return o
+}
+
+// End closes the span at end and records it, returning the recorded
+// span's ID. The ID is allocated here, not at Begin, so a Begin/End
+// pair records exactly what a single Record of the completed span
+// would — byte-identical exports either way. Ending twice records
+// nothing the second time and returns the original ID.
+func (o *Open) End(end sim.Time) ID {
+	if o.done {
+		return o.sp.ID
+	}
+	o.done = true
+	o.sp.End = end
+	o.sp.ID = o.r.Record(o.sp)
+	return o.sp.ID
+}
+
 // EnableRetain starts retaining every recorded span, up to capacity
 // (a safety bound against runaway exports; reaching it counts drops
 // rather than growing without limit). Calling it again resets the

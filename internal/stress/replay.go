@@ -143,7 +143,9 @@ func (w *world) step(th *sim.Thread, op Op, res *Result) error {
 		th.Charge(sim.CauseCompute, op.Dt)
 	case OpDeactivate:
 		if w.active[op.Space][op.Proc] {
-			w.spaces[op.Space].Cmap().Deactivate(op.Proc)
+			if err := w.spaces[op.Space].Cmap().Deactivate(op.Proc); err != nil {
+				return err
+			}
 			w.active[op.Space][op.Proc] = false
 		}
 	case OpDefrost:

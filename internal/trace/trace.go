@@ -83,6 +83,8 @@ func ByPage(events []core.Event) []*PageHistory {
 			h.Faults++
 		case core.EvReplication, core.EvMigration:
 			h.Moves++
+		default:
+			// Other kinds contribute to the history but not the counters.
 		}
 	}
 	out := make([]*PageHistory, 0, len(byID))
@@ -113,6 +115,8 @@ func freezeCycles(events []core.Event) int {
 				cycles++
 				frozen = false
 			}
+		default:
+			// Faults and moves do not affect the freeze state machine.
 		}
 	}
 	return cycles
@@ -147,6 +151,8 @@ func pingPongRuns(events []core.Event) int {
 			}
 		case core.EvFreeze, core.EvThaw:
 			flush()
+		default:
+			// Faults and replications neither extend nor break a run.
 		}
 	}
 	flush()

@@ -43,6 +43,16 @@ for import_path in $(go list ./internal/...); do
 	fi
 done
 
+# 4. README documents every analyzer cmd/platinum-vet actually
+#    registers, by its registered name, so the analyzer docs cannot
+#    drift from the suite.
+for name in $(go run ./cmd/platinum-vet -list | cut -f1); do
+	if ! grep -q "$name" README.md; then
+		echo "README: does not document analyzer '$name' (cmd/platinum-vet -list)"
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
 	echo "check-docs: FAILED"
 	exit 1

@@ -1,0 +1,46 @@
+#!/bin/sh
+# check-vet.sh — static-analysis gate, run by the CI vet job.
+#
+#   1. platinum-vet over the whole tree must be clean (exit 0). The
+#      suppression summary it prints keeps //lint:ignore use visible.
+#   2. platinum-vet over a known-bad fixture package must FAIL (exit 1)
+#      with file:line findings — a self-test that the gate can actually
+#      reject code, so a loader regression cannot silently turn the
+#      suite into a no-op.
+#   3. With PLATINUM_VET_TOOLS=1 (set in CI, where the module proxy is
+#      reachable), staticcheck and govulncheck also run, pinned by
+#      version through `go run` so the tools are fetched reproducibly
+#      and nothing needs a global install. Offline runs skip them.
+#
+# Run from the repository root: ./scripts/check-vet.sh
+set -eu
+
+STATICCHECK_VERSION=2025.1
+GOVULNCHECK_VERSION=v1.1.4
+
+echo "== platinum-vet (tree must be clean)"
+go run ./cmd/platinum-vet ./...
+
+echo "== platinum-vet (negative fixture must fail)"
+neg_out=$(go run ./cmd/platinum-vet -srcroot internal/analysis/testdata/src chargecause 2>&1) && {
+	echo "check-vet: negative fixture unexpectedly passed:"
+	echo "$neg_out"
+	exit 1
+}
+if ! echo "$neg_out" | grep -q "fixture.go:.*\[platinum/chargecause\]"; then
+	echo "check-vet: negative fixture failed without file:line findings:"
+	echo "$neg_out"
+	exit 1
+fi
+echo "negative fixture rejected as expected"
+
+if [ "${PLATINUM_VET_TOOLS:-0}" = "1" ]; then
+	echo "== staticcheck $STATICCHECK_VERSION"
+	go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+	echo "== govulncheck $GOVULNCHECK_VERSION"
+	go run "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" ./...
+else
+	echo "== staticcheck/govulncheck skipped (set PLATINUM_VET_TOOLS=1 to run; they fetch pinned tool modules)"
+fi
+
+echo "check-vet: OK"
