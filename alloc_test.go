@@ -1,0 +1,130 @@
+package platinum
+
+// Alloc-regression gates for the pooled simulation core: the engine
+// step (Advance, both the fast path and the fused handoff), span
+// Begin/End recording, and account charging must not allocate in
+// steady state. These are the invariants the pooling/arena design
+// bought; testing.AllocsPerRun pins them so they cannot silently rot.
+// The platinum/hotalloc vet analyzer enforces the same property
+// statically; this file enforces it against the compiler's actual
+// escape analysis.
+//
+// The tests skip under -race: the detector instruments allocations of
+// its own. CI runs them in the non-instrumented bench-smoke lane.
+
+import (
+	"testing"
+
+	"platinum/internal/sim"
+	"platinum/internal/span"
+)
+
+// measureInThread spawns a one-thread simulation and reports the
+// allocations per call of step, measured from inside the thread's body
+// after warm-up Advances.
+func measureInThread(t *testing.T, step func(*sim.Thread)) float64 {
+	t.Helper()
+	var allocs float64
+	e := sim.NewEngine()
+	e.Spawn("meter", func(th *sim.Thread) {
+		for i := 0; i < 100; i++ {
+			th.Advance(1) // warm the engine's pools
+		}
+		allocs = testing.AllocsPerRun(200, func() { step(th) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return allocs
+}
+
+// TestAdvanceZeroAlloc pins the fast-path engine step (a lone thread's
+// Advance never parks) at zero allocations.
+func TestAdvanceZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	if got := measureInThread(t, func(th *sim.Thread) { th.Advance(100) }); got != 0 {
+		t.Errorf("Advance fast path allocates %v per op, want 0", got)
+	}
+}
+
+// TestChargeZeroAlloc pins account charging (attribute + Advance, the
+// per-cause bookkeeping on every simulated cost) at zero allocations.
+func TestChargeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	if got := measureInThread(t, func(th *sim.Thread) { th.Charge(sim.CauseCompute, 100) }); got != 0 {
+		t.Errorf("Charge allocates %v per op, want 0", got)
+	}
+}
+
+// TestHandoffZeroAlloc pins the fused handoff step — two threads in
+// lockstep, every Advance a goroutine switch to the peer — at zero
+// allocations.
+func TestHandoffZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	var allocs float64
+	done := false
+	e := sim.NewEngine()
+	e.Spawn("meter", func(th *sim.Thread) {
+		for i := 0; i < 100; i++ {
+			th.Advance(100) // warm-up handoffs
+		}
+		allocs = testing.AllocsPerRun(200, func() { th.Advance(100) })
+		done = true
+	})
+	e.Spawn("peer", func(th *sim.Thread) {
+		// done is written by the meter thread and read here without
+		// host-level synchronization, which is safe: exactly one sim
+		// thread runs at a time, and handoffs order the accesses.
+		for !done {
+			th.Advance(100)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("fused-handoff Advance allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSpanBeginEndZeroAlloc pins span recording — Begin, builder
+// setters, End into the flight ring — at zero allocations once the
+// Open free list and the ring are warm.
+func TestSpanBeginEndZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	rec := span.NewRecorder(64)
+	now := sim.Time(0)
+	rec.Begin(span.KindFault, now).End(now + 1) // warm the free list
+	got := testing.AllocsPerRun(200, func() {
+		now += 2
+		rec.Begin(span.KindFault, now).Proc(1).Track(2).Notef("probe %d", 3).End(now + 1)
+	})
+	if got != 0 {
+		t.Errorf("span Begin/End allocates %v per op, want 0", got)
+	}
+}
+
+// TestRecordZeroAlloc pins direct Record calls (completed spans, the
+// path Machine and System use per access) at zero allocations,
+// including after the flight ring has wrapped.
+func TestRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	rec := span.NewRecorder(8)
+	sp := span.Span{Kind: span.KindFault, Start: 0, End: 1, Proc: 0, Page: -1}
+	for i := 0; i < 16; i++ {
+		rec.Record(sp) // fill and wrap the ring
+	}
+	if got := testing.AllocsPerRun(200, func() { rec.Record(sp) }); got != 0 {
+		t.Errorf("Record allocates %v per op, want 0", got)
+	}
+}

@@ -64,7 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+	// Acquire the platform through the pool: repeated in-process runs
+	// (the determinism A/B tests, future batch drivers) reuse one reset
+	// kernel instead of booting a fresh one. The key carries every
+	// setting that changes the kernel's instrumentation state.
+	poolKey := fmt.Sprintf("platinum-report:trace=%d spans=%t", *trace, *spans != "")
+	pl, err := apps.AcquirePlatform(poolKey, kernel.DefaultConfig())
 	if err != nil {
 		return fail(err)
 	}
@@ -130,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err := metrics.WriteJSON(stdout, mr); err != nil {
 				return fail(err)
 			}
+			apps.ReleasePlatform(poolKey, pl)
 			return 0
 		}
 		fmt.Fprintf(stdout, "anecdote on %d procs: %v (size page frozen: %v)\n",
@@ -229,6 +235,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	apps.ReleasePlatform(poolKey, pl)
 	return 0
 }
 

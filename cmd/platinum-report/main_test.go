@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"platinum/internal/apps"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -105,6 +107,70 @@ func TestSpansGolden(t *testing.T) {
 		t.Fatal("-spans wrote no trace events")
 	}
 	checkGolden(t, "gauss_spans.golden.json", got)
+}
+
+// TestPoolingOutputIdentical is the end-to-end pooled-vs-reference
+// gate: for gauss and mergesort, every output mode (-json report,
+// -trace timeline, -spans Chrome trace) must be byte-identical between
+// the reference mode (pooling off, fresh kernel each run) and the
+// pooled mode — including a second pooled run, which exercises a
+// reused, reset platform instead of a fresh boot.
+func TestPoolingOutputIdentical(t *testing.T) {
+	dir := t.TempDir()
+	for _, app := range []string{"gauss", "mergesort"} {
+		// Small sizes keep the three-runs-per-mode matrix fast.
+		base := []string{"-app", app, "-n", "16", "-procs", "2"}
+		if app == "mergesort" {
+			base = []string{"-app", app, "-n", "256", "-procs", "2"}
+		}
+		modes := []struct {
+			name string
+			args []string // appended to base; FILE is replaced per mode
+			file string   // side-channel output to compare, "" for stdout only
+		}{
+			{"json", []string{"-json"}, ""},
+			{"timeline", []string{"-trace", "2000", "-timeline", "FILE"}, filepath.Join(dir, app+"_timeline.jsonl")},
+			{"spans", []string{"-spans", "FILE"}, filepath.Join(dir, app+"_spans.json")},
+		}
+		for _, m := range modes {
+			args := append(append([]string{}, base...), m.args...)
+			for i, a := range args {
+				if a == "FILE" {
+					args[i] = m.file
+				}
+			}
+			// capture runs the CLI once and returns stdout plus the
+			// side-channel file (same path every run, so stdout that
+			// echoes it stays comparable).
+			capture := func() string {
+				t.Helper()
+				out, code := runCmd(t, args...)
+				if code != 0 {
+					t.Fatalf("%s/%s: exit code %d", app, m.name, code)
+				}
+				if m.file != "" {
+					got, err := os.ReadFile(m.file)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out += "\n--file--\n" + string(got)
+				}
+				return out
+			}
+			prev := apps.SetPooling(false)
+			ref := capture()
+			apps.SetPooling(true)
+			first := capture()  // cold pool: fresh boot, released after
+			second := capture() // warm pool: reused, reset platform
+			apps.SetPooling(prev)
+			if first != ref {
+				t.Errorf("%s/%s: pooled output differs from reference", app, m.name)
+			}
+			if second != ref {
+				t.Errorf("%s/%s: reused-platform output differs from reference", app, m.name)
+			}
+		}
+	}
 }
 
 func TestSpansRejectsAnecdote(t *testing.T) {

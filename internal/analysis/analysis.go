@@ -173,5 +173,6 @@ func All() []*Analyzer {
 		AnalyzerExhaustiveEvent,
 		AnalyzerSpanPair,
 		AnalyzerNoProtocolPanic,
+		AnalyzerHotAlloc,
 	}
 }

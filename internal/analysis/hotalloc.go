@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc keeps the declared hot path allocation-free: a
+// function marked with a //platinum:hotpath directive (the simulator's
+// dispatch step, span recording, and account charging — the code that
+// runs once per simulated memory reference) must not allocate in steady
+// state, or the heap and the GC reappear in every experiment's hot
+// loop, exactly the cost the pooled/arena design removed.
+//
+// Flagged inside a marked function (and closures declared in it):
+//
+//   - new(T): always allocates.
+//   - append(...): may grow the backing array; pools that append only
+//     during warm-up suppress the finding with a //lint:ignore carrying
+//     that justification.
+//   - &T{...}: a composite literal whose address is taken escapes to
+//     the heap unless the compiler can prove otherwise — the hot path
+//     must not gamble on escape analysis.
+//   - []T{...} and map literals: the backing store is heap-allocated.
+//
+// The directive is a declaration, not an inference: marking a function
+// states "this runs per event/reference/charge" and buys compile-time
+// enforcement. Unmarked functions are out of scope.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //platinum:hotpath must not allocate (new, append growth, escaping composite literals)",
+	Run:  runHotAlloc,
+}
+
+// hotPathDirective is the exact comment that opts a function in.
+const hotPathDirective = "//platinum:hotpath"
+
+// isHotPath reports whether fd carries the //platinum:hotpath directive
+// in its doc comment block.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotAlloc walks one hot-path function body. Composite literals
+// under a & are reported once, at the &, so the walk tracks which
+// literals were already covered by their address-of parent.
+func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	addressed := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := pass.ObjectOf(id).(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch b.Name() {
+			case "new":
+				pass.Reportf(n.Pos(),
+					"new(...) allocates on the hot path (%s is marked %s)", name, hotPathDirective)
+			case "append":
+				pass.Reportf(n.Pos(),
+					"append may grow its backing array on the hot path (%s is marked %s)", name, hotPathDirective)
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				addressed[lit] = true
+				pass.Reportf(n.Pos(),
+					"&composite literal escapes to the heap on the hot path (%s is marked %s)", name, hotPathDirective)
+			}
+		case *ast.CompositeLit:
+			if addressed[n] {
+				return true
+			}
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(),
+					"%s literal allocates its backing store on the hot path (%s is marked %s)",
+					describeLitKind(pass.TypeOf(n)), name, hotPathDirective)
+			}
+		}
+		return true
+	})
+}
+
+// describeLitKind names the allocating literal kind for messages.
+func describeLitKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

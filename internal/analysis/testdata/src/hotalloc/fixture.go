@@ -1,0 +1,66 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: a function
+// marked //platinum:hotpath must not allocate — no new, no append
+// growth, no escaping composite literals — while unmarked functions are
+// out of scope no matter what they allocate.
+package hotalloc
+
+type record struct {
+	vals []int
+	tags map[string]int
+}
+
+type node struct{ next *node }
+
+// step is the marked dispatch step: every allocating form inside it is
+// a finding.
+//
+//platinum:hotpath
+func step(r *record, n int) *node {
+	p := new(node)                  // want `new\(\.\.\.\) allocates on the hot path`
+	r.vals = append(r.vals, n)      // want `append may grow its backing array on the hot path`
+	q := &node{next: p}             // want `&composite literal escapes to the heap on the hot path`
+	r.vals = []int{n}               // want `slice literal allocates its backing store on the hot path`
+	r.tags = map[string]int{"a": n} // want `map literal allocates its backing store on the hot path`
+	return q
+}
+
+// stepClosure allocates inside a closure declared on the hot path: the
+// closure runs per dispatch too, so the finding is still reported.
+//
+//platinum:hotpath
+func stepClosure(r *record, n int) {
+	grow := func() {
+		r.vals = append(r.vals, n) // want `append may grow its backing array on the hot path`
+	}
+	grow()
+}
+
+// stepClean is marked but allocation-free: reusing caller-owned storage
+// and value composites (no backing store) are the pooled idiom and must
+// not be flagged.
+//
+//platinum:hotpath
+func stepClean(r *record, n int) record {
+	if len(r.vals) > 0 {
+		r.vals[0] = n
+	}
+	r.vals = r.vals[:0]
+	return record{vals: r.vals}
+}
+
+// warmUp is the sanctioned exception: a pool that appends only before
+// steady state suppresses the finding with its justification.
+//
+//platinum:hotpath
+func warmUp(r *record, n int) {
+	r.vals = append(r.vals, n) //lint:ignore platinum/hotalloc free-list warm-up growth
+}
+
+// coldSetup is unmarked: construction-time allocation is fine and out
+// of scope.
+func coldSetup(n int) *record {
+	return &record{
+		vals: make([]int, 0, n),
+		tags: map[string]int{},
+	}
+}

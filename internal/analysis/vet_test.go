@@ -35,6 +35,14 @@ func TestNoProtocolPanic(t *testing.T) {
 		[]*analysis.Analyzer{analysis.AnalyzerNoProtocolPanic}, "platinum/internal/mach")
 }
 
+func TestHotAlloc(t *testing.T) {
+	res := analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerHotAlloc}, "hotalloc")
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the warm-up append)", got)
+	}
+}
+
 // TestScopeLimits runs the full suite over a package that is neither a
 // simulation nor a protocol package: wall-clock reads, global rand and
 // panics there are out of scope and must produce no findings.
@@ -84,7 +92,7 @@ func TestSuppressionClean(t *testing.T) {
 // TestRegistry pins the suite's registration invariants: stable order,
 // unique non-empty names, and a doc line for platinum-vet -list.
 func TestRegistry(t *testing.T) {
-	want := []string{"nodeterminism", "chargecause", "exhaustiveevent", "spanpair", "noprotocolpanic"}
+	want := []string{"nodeterminism", "chargecause", "exhaustiveevent", "spanpair", "noprotocolpanic", "hotalloc"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -182,8 +182,14 @@ func runGaussShared(pl *PlatinumPlatform, cfg GaussConfig, scatter bool) (GaussR
 				// module under static placement (the §7 contention
 				// contrast).
 				t.ReadRange(rowVA(kk)+int64(kk), pivot[kk:])
-				t.Update(rowVA(j)+int64(kk), width, func(c int, v uint32) uint32 {
-					return v - mult*pivot[kk+c]
+				t.UpdateSlice(rowVA(j)+int64(kk), width, func(base int, w []uint32) {
+					// Equal-length slices let the compiler drop the
+					// bounds check in the innermost loop of the suite.
+					pv := pivot[kk+base : kk+base+len(w)]
+					w = w[:len(pv)]
+					for c, v := range pv {
+						w[c] -= mult * v
+					}
 				})
 				t.Compute(cfg.OpCost * sim.Time(width))
 			}

@@ -8,15 +8,28 @@ package core
 // The replacement policy is FIFO over a fixed-size ring, which is simple,
 // deterministic, and close enough to the hardware's pseudo-random
 // replacement for timing purposes.
+//
+// Residency is tracked in a chained hash table over a fixed entry pool
+// rather than a Go map: the capacity is hardware-small (64 entries), so
+// buckets stay near one entry each, and lookup — the hottest operation
+// in the whole simulator after the scheduler — avoids the runtime's
+// generic map machinery. The table is pure host-side plumbing; hits,
+// misses and evictions are identical to the map implementation's, so
+// simulated timing is unchanged.
 type atc struct {
-	cap     int
-	entries map[atcKey]pmapEntry
-	ring    []atcKey // FIFO of resident keys
-	head    int
+	cap int
 
-	// Most-recently-hit entry, checked before the map. Pure host-side
+	buckets []int32 // hash bucket -> pool index of chain head, -1 if empty
+	mask    uint64  // len(buckets) - 1, len is a power of two
+	pool    []atcEnt
+	free    int32 // pool free-list head, -1 if exhausted
+
+	ring []atcKey // FIFO of resident keys
+	head int
+
+	// Most-recently-hit entry, checked before the table. Pure host-side
 	// memoization of a resident entry: it never holds a translation the
-	// map does not, so hit/miss accounting — and therefore simulated
+	// table does not, so hit/miss accounting — and therefore simulated
 	// timing — is unchanged.
 	mruKey atcKey
 	mruVal pmapEntry
@@ -32,11 +45,85 @@ type atcKey struct {
 	vpn  int64
 }
 
+// hash mixes the key into a bucket index. Any deterministic function
+// works — collisions only lengthen a host-side chain, never change
+// simulated behaviour.
+func (k atcKey) hash() uint64 {
+	h := uint64(k.vpn)*0x9e3779b97f4a7c15 ^ uint64(k.cmap)*0xbf58476d1ce4e5b9
+	return h ^ (h >> 29)
+}
+
+type atcEnt struct {
+	key  atcKey
+	val  pmapEntry
+	next int32 // chain link, -1 ends the chain
+}
+
 func newATC(capacity int) *atc {
-	return &atc{
+	nb := 1
+	for nb < 2*capacity {
+		nb <<= 1
+	}
+	a := &atc{
 		cap:     capacity,
-		entries: make(map[atcKey]pmapEntry, capacity),
+		buckets: make([]int32, nb),
+		mask:    uint64(nb - 1),
+		pool:    make([]atcEnt, capacity),
 		ring:    make([]atcKey, 0, capacity),
+	}
+	a.unlinkAll()
+	return a
+}
+
+// unlinkAll empties every bucket and threads the whole pool onto the
+// free list.
+func (a *atc) unlinkAll() {
+	for i := range a.buckets {
+		a.buckets[i] = -1
+	}
+	for i := range a.pool {
+		a.pool[i].next = int32(i) - 1 // pool[0].next = -1 ends the list
+	}
+	a.free = int32(len(a.pool)) - 1
+}
+
+// reset empties the cache and zeroes its counters, keeping the table and
+// ring storage. A reset atc behaves identically to a new one.
+func (a *atc) reset() {
+	a.unlinkAll()
+	a.ring = a.ring[:0]
+	a.head = 0
+	a.mruOK = false
+	a.Hits = 0
+	a.Misses = 0
+}
+
+// find returns the pool index of k's entry, or -1.
+func (a *atc) find(k atcKey) int32 {
+	for i := a.buckets[k.hash()&a.mask]; i >= 0; i = a.pool[i].next {
+		if a.pool[i].key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// remove unlinks k's entry and returns it to the free list, if resident.
+func (a *atc) remove(k atcKey) {
+	b := k.hash() & a.mask
+	prev := int32(-1)
+	for i := a.buckets[b]; i >= 0; i = a.pool[i].next {
+		if a.pool[i].key == k {
+			if prev < 0 {
+				a.buckets[b] = a.pool[i].next
+			} else {
+				a.pool[prev].next = a.pool[i].next
+			}
+			a.pool[i].next = a.free
+			a.free = i
+			return
+		}
+		prev = i
 	}
 }
 
@@ -47,22 +134,22 @@ func (a *atc) lookup(cmap int, vpn int64) (pmapEntry, bool) {
 		a.Hits++
 		return a.mruVal, true
 	}
-	pe, ok := a.entries[k]
-	if ok {
+	if i := a.find(k); i >= 0 {
 		a.Hits++
+		pe := a.pool[i].val
 		a.mruKey, a.mruVal, a.mruOK = k, pe, true
-	} else {
-		a.Misses++
+		return pe, true
 	}
-	return pe, ok
+	a.Misses++
+	return pmapEntry{}, false
 }
 
 // install caches a translation, evicting the oldest if full.
 func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 	k := atcKey{cmap, vpn}
 	pe := pmapEntry{copy: c, rights: rights}
-	if _, resident := a.entries[k]; resident {
-		a.entries[k] = pe
+	if i := a.find(k); i >= 0 {
+		a.pool[i].val = pe
 		if a.mruOK && a.mruKey == k {
 			a.mruVal = pe
 		}
@@ -73,34 +160,39 @@ func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 	} else {
 		// Evict the slot at head; ring is full so head wraps FIFO-style.
 		old := a.ring[a.head]
-		delete(a.entries, old)
+		a.remove(old)
 		if a.mruOK && a.mruKey == old {
 			a.mruOK = false
 		}
 		a.ring[a.head] = k
 		a.head = (a.head + 1) % a.cap
 	}
-	a.entries[k] = pe
+	// The ring never holds more keys than the pool has entries, so after
+	// any needed eviction the free list is non-empty.
+	i := a.free
+	a.free = a.pool[i].next
+	b := k.hash() & a.mask
+	a.pool[i] = atcEnt{key: k, val: pe, next: a.buckets[b]}
+	a.buckets[b] = i
 }
 
 // invalidate drops the cached translation, if resident. The ring slot is
-// left in place and simply misses in the map until reused.
+// left in place and simply misses in the table until reused.
 func (a *atc) invalidate(cmap int, vpn int64) {
 	k := atcKey{cmap, vpn}
 	if a.mruOK && a.mruKey == k {
 		a.mruOK = false
 	}
-	delete(a.entries, k)
+	a.remove(k)
 }
 
 // restrict downgrades the cached translation to read-only, if resident.
 func (a *atc) restrict(cmap int, vpn int64) {
 	k := atcKey{cmap, vpn}
-	if pe, ok := a.entries[k]; ok {
-		pe.rights = Read
-		a.entries[k] = pe
+	if i := a.find(k); i >= 0 {
+		a.pool[i].val.rights = Read
 		if a.mruOK && a.mruKey == k {
-			a.mruVal = pe
+			a.mruVal = a.pool[i].val
 		}
 	}
 }

@@ -55,20 +55,48 @@ type Cmap struct {
 }
 
 // NewCmap creates the coherent-map state for a new address space.
+// Cmaps recycled by Reset — with their maps already built and cleared —
+// are reused before new ones are allocated.
 func (s *System) NewCmap() *Cmap {
-	n := s.machine.Nodes()
-	cm := &Cmap{
-		id:      len(s.cmaps),
-		sys:     s,
-		entries: make(map[int64]*CmapEntry),
-		pmaps:   make([]map[int64]pmapEntry, n),
-		actives: make([]int, n),
+	var cm *Cmap
+	if n := len(s.cmapPool); n > 0 {
+		cm = s.cmapPool[n-1]
+		s.cmapPool[n-1] = nil
+		s.cmapPool = s.cmapPool[:n-1]
+	} else {
+		n := s.machine.Nodes()
+		cm = &Cmap{
+			sys:     s,
+			entries: make(map[int64]*CmapEntry),
+			pmaps:   make([]map[int64]pmapEntry, n),
+			actives: make([]int, n),
+		}
+		for i := range cm.pmaps {
+			cm.pmaps[i] = make(map[int64]pmapEntry)
+		}
 	}
-	for i := range cm.pmaps {
-		cm.pmaps[i] = make(map[int64]pmapEntry)
-	}
+	cm.id = len(s.cmaps)
 	s.cmaps = append(s.cmaps, cm)
 	return cm
+}
+
+// recycle returns a pooled Cmap to its freshly-constructed state,
+// keeping every map and slice it has grown. Its entries go back to the
+// system's entry pool.
+func (cm *Cmap) recycle(s *System) {
+	for vpn, e := range cm.entries {
+		*e = CmapEntry{}
+		s.entryPool = append(s.entryPool, e)
+		delete(cm.entries, vpn)
+	}
+	for i := range cm.pmaps {
+		clear(cm.pmaps[i])
+	}
+	cm.active = 0
+	for i := range cm.actives {
+		cm.actives[i] = 0
+	}
+	cm.msgs = cm.msgs[:0]
 }
 
 // Enter binds virtual page vpn to coherent page cp with the given
@@ -81,7 +109,16 @@ func (cm *Cmap) Enter(vpn int64, cp *Cpage, rights Rights) (*CmapEntry, error) {
 	if rights&Read == 0 {
 		return nil, fmt.Errorf("core: mapping vpn %d without read rights", vpn)
 	}
-	e := &CmapEntry{cmap: cm, vpn: vpn, cp: cp, rights: rights}
+	s := cm.sys
+	var e *CmapEntry
+	if n := len(s.entryPool); n > 0 {
+		e = s.entryPool[n-1]
+		s.entryPool[n-1] = nil
+		s.entryPool = s.entryPool[:n-1]
+	} else {
+		e = &CmapEntry{}
+	}
+	*e = CmapEntry{cmap: cm, vpn: vpn, cp: cp, rights: rights}
 	cm.entries[vpn] = e
 	cp.mappers = append(cp.mappers, e)
 	return e, nil

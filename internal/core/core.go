@@ -252,6 +252,7 @@ type System struct {
 	machine *mach.Machine
 	mem     *phys.Memory
 	cfg     Config
+	mcfg    mach.Config // cached copy of machine.Config(), for hot paths
 
 	cpages    []*Cpage
 	cmaps     []*Cmap
@@ -285,6 +286,14 @@ type System struct {
 	fcSpanned  sim.Time
 	pending    []span.Span
 	sdTargets  []sdTarget
+
+	// Free lists fed by Reset: finished runs return their Cpages, Cmaps
+	// (with maps built and cleared) and CmapEntries here, and NewCpage /
+	// NewCmap / Cmap.Enter draw from them, so a reused system rebuilds
+	// its page and mapping state without allocating.
+	cpagePool []*Cpage
+	cmapPool  []*Cmap
+	entryPool []*CmapEntry
 }
 
 // faultCosts is the per-fault cost decomposition scratch record: the
@@ -320,6 +329,7 @@ func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
 	s := &System{
 		machine: m,
 		mem:     mem,
+		mcfg:    m.Config(),
 		cfg:     cfg,
 		atcs:    make([]*atc, m.Nodes()),
 		penalty: make([]sim.Time, m.Nodes()),
@@ -329,6 +339,52 @@ func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
 		s.atcs[i] = newATC(cfg.ATCEntries)
 	}
 	return s, nil
+}
+
+// Reset returns the system to its freshly-constructed state — no
+// pages, no address spaces, empty physical memory, cold ATCs, span and
+// trace recording back to boot defaults — while retaining every
+// structure it has grown. Finished Cpages, Cmaps and CmapEntries move
+// to free lists that the corresponding constructors draw from, so the
+// next run rebuilds its state without allocating. A reset system
+// behaves bit-for-bit identically to one from NewSystem: ids restart
+// at zero, homes round-robin from module 0, and no tombstones or stale
+// cache entries survive to perturb simulated costs.
+func (s *System) Reset() {
+	s.mem.Reset()
+	for i, cp := range s.cpages {
+		s.cpagePool = append(s.cpagePool, cp)
+		s.cpages[i] = nil
+	}
+	s.cpages = s.cpages[:0]
+	for i, cm := range s.cmaps {
+		cm.recycle(s)
+		s.cmapPool = append(s.cmapPool, cm)
+		s.cmaps[i] = nil
+	}
+	s.cmaps = s.cmaps[:0]
+	for i := range s.frozen {
+		s.frozen[i] = nil
+	}
+	s.frozen = s.frozen[:0]
+	s.tr = nil // tracing is re-enabled per run, as at boot
+	for _, a := range s.atcs {
+		a.reset()
+	}
+	for i := range s.penalty {
+		s.penalty[i] = 0
+	}
+	s.homeNext = 0
+	s.shootSeqs = 0
+	s.fc = faultCosts{}
+	s.inj = nil
+	s.injAck = 0
+	s.rec.Reset()
+	s.spanParent = span.None
+	s.spanTrack = 0
+	s.fcSpanned = 0
+	s.pending = s.pending[:0]
+	s.sdTargets = s.sdTargets[:0]
 }
 
 // Machine returns the machine the system runs on.

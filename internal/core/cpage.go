@@ -79,6 +79,13 @@ type Cpage struct {
 	id    int64
 	label string // optional debug label set by the VM layer
 
+	// labelBase/labelIdx are the lazy form of an indexed label
+	// ("base[idx]", the shape every VM object page uses): Label renders
+	// it on demand, so creating thousands of pages does not format
+	// thousands of strings that reports may never read.
+	labelBase string
+	labelIdx  int
+
 	state   State
 	dirMask uint64 // bit per module holding a copy
 	copies  []Copy // the copies themselves (directory list)
@@ -109,10 +116,28 @@ type Cpage struct {
 func (cp *Cpage) ID() int64 { return cp.id }
 
 // Label returns the debug label, if any.
-func (cp *Cpage) Label() string { return cp.label }
+func (cp *Cpage) Label() string {
+	if cp.labelBase != "" {
+		return fmt.Sprintf("%s[%d]", cp.labelBase, cp.labelIdx)
+	}
+	return cp.label
+}
 
 // SetLabel attaches a debug label used in instrumentation reports.
-func (cp *Cpage) SetLabel(l string) { cp.label = l }
+func (cp *Cpage) SetLabel(l string) {
+	cp.label = l
+	cp.labelBase = ""
+}
+
+// SetLabelIndexed attaches the indexed debug label "base[idx]" without
+// formatting it: Label renders the string lazily. This is the form the
+// VM layer uses for every object page, where eager formatting dominated
+// setup allocations.
+func (cp *Cpage) SetLabelIndexed(base string, idx int) {
+	cp.label = ""
+	cp.labelBase = base
+	cp.labelIdx = idx
+}
 
 // State returns the protocol state.
 func (cp *Cpage) State() State { return cp.state }
@@ -164,14 +189,32 @@ func (cp *Cpage) removeCopy(mod int) (Copy, error) {
 
 // NewCpage allocates a new coherent page in the Empty state. The virtual
 // memory layer calls this when a memory object page is first needed.
+// Pages recycled by Reset are reused before new ones are allocated.
 func (s *System) NewCpage() *Cpage {
-	cp := &Cpage{
-		id:   int64(len(s.cpages)),
-		home: s.homeNext,
+	var cp *Cpage
+	if n := len(s.cpagePool); n > 0 {
+		cp = s.cpagePool[n-1]
+		s.cpagePool[n-1] = nil
+		s.cpagePool = s.cpagePool[:n-1]
+		cp.recycle()
+	} else {
+		cp = &Cpage{}
 	}
+	cp.id = int64(len(s.cpages))
+	cp.home = s.homeNext
 	s.homeNext = (s.homeNext + 1) % s.machine.Nodes()
 	s.cpages = append(s.cpages, cp)
 	return cp
+}
+
+// recycle returns a pooled Cpage to its zero state, keeping the copies
+// and mappers backing arrays for reuse.
+func (cp *Cpage) recycle() {
+	copies, mappers := cp.copies[:0], cp.mappers[:0]
+	for i := range cp.mappers {
+		cp.mappers[i] = nil
+	}
+	*cp = Cpage{copies: copies, mappers: mappers}
 }
 
 // Cpages returns all coherent pages, for instrumentation.

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"platinum/internal/sim"
 	"platinum/internal/span"
 )
@@ -31,8 +29,11 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 	s.spanTrack = t.ID()
 	var delay sim.Time
 	thawed := 0
+	// Detach the list but keep its backing array: nothing re-enlists
+	// during the sweep, so truncating in place is safe and the array is
+	// reused by the next freeze.
 	list := s.frozen
-	s.frozen = nil
+	s.frozen = s.frozen[:0]
 	for _, cp := range list {
 		cp.enlisted = false
 		if !cp.frozen {
@@ -53,7 +54,7 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 	}
 	ack := s.drainInjAck()
 	s.rec.Record(span.Span{ID: sweepID, Kind: span.KindDefrostSweep, Start: now, End: now + delay,
-		Proc: proc, Track: t.ID(), Page: -1, Note: fmt.Sprintf("thawed %d", thawed)})
+		Proc: proc, Track: t.ID(), Page: -1, NoteFmt: "thawed %d", NoteArg0: thawed, NoteN: 1})
 	s.spanFlush()
 	if delay > 0 {
 		t.Attribute(sim.CauseSlowAck, ack)
@@ -80,8 +81,10 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 	s.spanParent = sweepID
 	s.spanTrack = t.ID()
 	var delay sim.Time
+	// In-place filter over the shared backing array: surviving pages are
+	// re-appended at a write index that never passes the read index.
 	list := s.frozen
-	s.frozen = nil
+	s.frozen = s.frozen[:0]
 	for _, cp := range list {
 		if !cp.frozen {
 			cp.enlisted = false
@@ -113,7 +116,7 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 		// No span for the empty polls the adaptive daemon makes every
 		// tick — only sweeps that examined at least one page.
 		s.rec.Record(span.Span{ID: sweepID, Kind: span.KindDefrostSweep, Start: now, End: now + delay,
-			Proc: proc, Track: t.ID(), Page: -1, Note: fmt.Sprintf("thawed %d", thawed)})
+			Proc: proc, Track: t.ID(), Page: -1, NoteFmt: "thawed %d", NoteArg0: thawed, NoteN: 1})
 	}
 	s.spanFlush()
 	if delay > 0 {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"platinum/internal/phys"
 	"platinum/internal/sim"
 	"platinum/internal/span"
@@ -69,7 +67,7 @@ func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write boo
 			s.rec.Record(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
 				Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: pen})
 		}
-		reload := s.machine.Config().ATCReload
+		reload := s.mcfg.ATCReload
 		s.rec.Record(span.Span{Kind: span.KindATCReload, Start: now + pen, End: now + pen + reload,
 			Proc: proc, Track: t.ID(), Page: page, Cause: sim.CauseFault, Self: reload})
 		t.Attribute(sim.CauseShootdown, pen)
@@ -194,11 +192,11 @@ func (s *System) localIPTLookup(cp *Cpage, proc int, cur sim.Time) (frame int, n
 	if !ok {
 		return phys.NoFrame, cur, invariantErr(cp, "directory claims copy on module %d but IPT lookup failed", proc)
 	}
-	d := sim.Time(probes) * s.machine.Config().LocalRead
+	d := sim.Time(probes) * s.mcfg.LocalRead
 	if d > 0 {
 		s.spanChild(span.Span{Kind: span.KindIPTLookup, Start: cur, End: cur + d,
 			Proc: proc, Page: cp.id, Cause: sim.CauseFault, Self: d,
-			Note: fmt.Sprintf("%d probes", probes)})
+			NoteFmt: "%d probes", NoteArg0: probes, NoteN: 1})
 	}
 	return fr, cur + d, nil
 }
@@ -228,7 +226,7 @@ func (s *System) allocFrame(cp *Cpage, mod int, cur sim.Time) (frame int, newCur
 // recorded as block-transfer cost in the fault decomposition; any
 // injected stall is recorded separately so it lands on CauseRetry.
 func (s *System) copyPage(cp *Cpage, src, dst Copy, cur sim.Time) sim.Time {
-	words := s.machine.Config().PageWords
+	words := s.mcfg.PageWords
 	d := s.machine.BlockTransferAt(cur, src.Module, dst.Module, words)
 	var stall sim.Time
 	if s.inj != nil {
@@ -238,7 +236,7 @@ func (s *System) copyPage(cp *Cpage, src, dst Copy, cur sim.Time) sim.Time {
 	s.fc.stall += stall
 	s.spanChild(span.Span{Kind: span.KindBlockTransfer, Start: cur, End: cur + d,
 		Proc: dst.Module, Page: cp.id, Cause: sim.CauseBlockTransfer, Self: d,
-		Note: fmt.Sprintf("module %d->%d", src.Module, dst.Module)})
+		NoteFmt: "module %d->%d", NoteArg0: src.Module, NoteArg1: dst.Module, NoteN: 2})
 	if stall > 0 {
 		s.spanChild(span.Span{Kind: span.KindStall, Start: cur + d, End: cur + d + stall,
 			Proc: dst.Module, Page: cp.id, Cause: sim.CauseRetry, Self: stall})
@@ -284,14 +282,17 @@ func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) (sim.Time, error) {
 // materialize zero-fills an Empty page, preferring a local frame and
 // falling back to any module with space.
 func (s *System) materialize(cp *Cpage, vpn int64, proc int, cur sim.Time) (Copy, sim.Time, error) {
-	order := make([]int, 0, s.machine.Nodes())
-	order = append(order, proc)
-	for m := 0; m < s.machine.Nodes(); m++ {
-		if m != proc {
-			order = append(order, m)
+	// Try the local module first, then the rest in index order — the
+	// same order the old explicit order slice produced, without
+	// building it.
+	nodes := s.machine.Nodes()
+	for i := 0; i <= nodes; i++ {
+		mod := i - 1
+		if i == 0 {
+			mod = proc
+		} else if mod == proc {
+			continue
 		}
-	}
-	for _, mod := range order {
 		if fr, nc, ok := s.allocFrame(cp, mod, cur); ok {
 			c := Copy{Module: mod, Frame: fr}
 			if err := cp.addCopy(c); err != nil {
@@ -536,13 +537,19 @@ func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cu
 	s.fc.ack += ack
 	s.roundRecord(cur, d, cp, initiator, "reclaim")
 	cur += d
-	for _, c := range append([]Copy(nil), cp.copies...) {
-		if c.Module != keep.Module {
-			var err error
-			cur, err = s.freeCopy(cp, c.Module, cur)
-			if err != nil {
-				return cur, err
-			}
+	// freeCopy splices the freed copy out of cp.copies in place, so walk
+	// by index without snapshotting: after a free the next copy slides
+	// into slot i, preserving the original visiting order.
+	for i := 0; i < len(cp.copies); {
+		c := cp.copies[i]
+		if c.Module == keep.Module {
+			i++
+			continue
+		}
+		var err error
+		cur, err = s.freeCopy(cp, c.Module, cur)
+		if err != nil {
+			return cur, err
 		}
 	}
 	return cur, nil

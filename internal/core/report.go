@@ -58,7 +58,7 @@ func (s *System) Report() Report {
 		}
 		r.Pages = append(r.Pages, PageReport{
 			ID:           cp.id,
-			Label:        cp.label,
+			Label:        cp.Label(),
 			State:        cp.state,
 			Frozen:       cp.frozen,
 			Copies:       len(cp.copies),

@@ -68,7 +68,7 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			if prior+interrupted == 0 {
 				step = s.cfg.ShootdownSync
 			} else {
-				step = s.machine.Config().InterruptDispatch
+				step = s.mcfg.InterruptDispatch
 			}
 			delay += step
 			var ackd sim.Time
@@ -86,7 +86,7 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			interrupted++
 			// Per-target scratch for the round's span tree (see span.go).
 			s.sdTargets = append(s.sdTargets, sdTarget{proc: proc, cost: step, ack: ackd})
-			s.penalty[proc] += s.machine.Config().InterruptHandle
+			s.penalty[proc] += s.mcfg.InterruptHandle
 			if restrict {
 				cm.restrictTranslation(proc, e.vpn)
 			} else {

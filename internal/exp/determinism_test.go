@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"platinum/internal/apps"
 	"platinum/internal/sim"
 )
 
@@ -37,6 +38,30 @@ func TestFastPathTableIdentical(t *testing.T) {
 	sim.SetDefaultFastPath(prev)
 	if slow != fast {
 		t.Fatalf("fig1 output differs between scheduler paths:\n--- fast path off ---\n%s--- fast path on ---\n%s", slow, fast)
+	}
+}
+
+// TestPoolingTableIdentical is the platform-pool regression gate: the
+// rendered tables with pooling off (every run boots a fresh kernel, the
+// reference mode) must be byte-identical to the tables with pooling on,
+// including on a second pooled pass where every platform is a reused,
+// reset kernel rather than a fresh boot. fig1 covers gauss, fig5
+// mergesort — the two workloads the pooled hot path was tuned on.
+func TestPoolingTableIdentical(t *testing.T) {
+	o := Options{Quick: true, Parallelism: 1}
+	for _, id := range []string{"fig1", "fig5"} {
+		prev := apps.SetPooling(false)
+		ref := render(t, id, o)
+		apps.SetPooling(true)
+		first := render(t, id, o)  // cold pool: fresh boots, warm releases
+		second := render(t, id, o) // warm pool: every platform reused
+		apps.SetPooling(prev)
+		if first != ref {
+			t.Fatalf("%s output differs between pooled and reference runs:\n--- pooling off ---\n%s--- pooling on ---\n%s", id, ref, first)
+		}
+		if second != ref {
+			t.Fatalf("%s output differs on reused platforms:\n--- pooling off ---\n%s--- pooled, second pass ---\n%s", id, ref, second)
+		}
 	}
 }
 

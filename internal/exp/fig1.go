@@ -59,43 +59,43 @@ func gaussKernelConfig(pageWords int) kernel.Config {
 func runGaussAt(o Options, procs int, variant string, srcSel core.SourceSelection) (sim.Time, sim.Account, error) {
 	n, pw := gaussSize(o)
 	cfg := apps.DefaultGaussConfig(n, procs)
-	kcfg := gaussKernelConfig(pw)
-	kcfg.Core.SourceSelection = srcSel
-	var pl *apps.PlatinumPlatform
-	var elapsed sim.Time
-	var err error
+	var kcfg kernel.Config
 	switch variant {
-	case "platinum":
-		if pl, err = apps.NewPlatinumPlatform(kcfg); err == nil {
-			var r apps.GaussResult
-			r, err = apps.RunGaussPlatinum(pl, cfg)
-			elapsed = r.Elapsed
-		}
+	case "platinum", "smp":
+		kcfg = gaussKernelConfig(pw)
+		kcfg.Core.SourceSelection = srcSel
 	case "uniform":
-		ucfg := baseline.UniformSystemConfig()
-		ucfg.Machine.PageWords = pw
-		if pl, err = apps.NewPlatinumPlatform(ucfg); err == nil {
-			var r apps.GaussResult
-			r, err = apps.RunGaussUniform(pl, cfg)
-			elapsed = r.Elapsed
-		}
-	case "smp":
-		if pl, err = apps.NewPlatinumPlatform(kcfg); err == nil {
-			var r apps.GaussResult
-			r, err = apps.RunGaussSMP(pl, cfg)
-			elapsed = r.Elapsed
-		}
+		kcfg = baseline.UniformSystemConfig()
+		kcfg.Machine.PageWords = pw
 	default:
 		return 0, sim.Account{}, fmt.Errorf("exp: unknown gauss variant %q", variant)
 	}
+	// The pool key encodes every kernel-config parameter this function
+	// varies; procs and problem size select work on the machine, not the
+	// machine's shape.
+	key := fmt.Sprintf("gauss:%s:pw=%d:src=%d", variant, pw, srcSel)
+	pl, err := apps.AcquirePlatform(key, kcfg)
 	if err != nil {
 		return 0, sim.Account{}, err
+	}
+	var r apps.GaussResult
+	switch variant {
+	case "platinum":
+		r, err = apps.RunGaussPlatinum(pl, cfg)
+	case "uniform":
+		r, err = apps.RunGaussUniform(pl, cfg)
+	case "smp":
+		r, err = apps.RunGaussSMP(pl, cfg)
+	}
+	if err != nil {
+		return 0, sim.Account{}, err // failed runs are not pooled
 	}
 	accts := pl.Accounts()
 	if err := metrics.CheckConservation(accts); err != nil {
 		return 0, sim.Account{}, err
 	}
-	return elapsed, total(accts), nil
+	apps.ReleasePlatform(key, pl)
+	return r.Elapsed, total(accts), nil
 }
 
 // total sums per-node accounts into the machine-wide breakdown.

@@ -34,14 +34,20 @@ func mergeSortWords(o Options) int {
 	return 1 << 18 // 256K words = 1 MB, far beyond the Symmetry's 8 KB cache
 }
 
+// kernelDefaultPool is the pool key shared by every experiment running
+// on an unmodified kernel.DefaultConfig() machine.
+const kernelDefaultPool = "exp:kernel-default"
+
 func runMergeSortOn(platform string, words, procs int) (sim.Time, sim.Account, error) {
 	cfg := apps.DefaultMergeSortConfig(procs)
 	cfg.Words = words
 	var pl apps.Platform
+	var ppl *apps.PlatinumPlatform // non-nil iff reusable via the pool
 	var err error
 	switch platform {
 	case "platinum":
-		pl, err = apps.NewPlatinumPlatform(kernel.DefaultConfig())
+		ppl, err = apps.AcquirePlatform(kernelDefaultPool, kernel.DefaultConfig())
+		pl = ppl
 	case "uma":
 		pl, err = apps.NewUMAPlatform(uma.DefaultConfig())
 	default:
@@ -60,6 +66,9 @@ func runMergeSortOn(platform string, words, procs int) (sim.Time, sim.Account, e
 	accts := pl.Accounts()
 	if err := metrics.CheckConservation(accts); err != nil {
 		return 0, sim.Account{}, err
+	}
+	if ppl != nil {
+		apps.ReleasePlatform(kernelDefaultPool, ppl)
 	}
 	return r.Elapsed, total(accts), nil
 }
@@ -129,7 +138,7 @@ func runFig6(o Options) (*Table, error) {
 		},
 	}
 	run := func(p int) (sim.Time, sim.Account, error) {
-		pl, err := apps.NewPlatinumPlatform(kernel.DefaultConfig())
+		pl, err := apps.AcquirePlatform(kernelDefaultPool, kernel.DefaultConfig())
 		if err != nil {
 			return 0, sim.Account{}, err
 		}
@@ -147,6 +156,7 @@ func runFig6(o Options) (*Table, error) {
 		if err := metrics.CheckConservation(accts); err != nil {
 			return 0, sim.Account{}, err
 		}
+		apps.ReleasePlatform(kernelDefaultPool, pl)
 		return r.Elapsed, total(accts), nil
 	}
 	procs := []int{1, 2, 4, 6, 8}

@@ -65,6 +65,10 @@ func DefaultConfig() Config {
 // Kernel is one booted simulated machine.
 type Kernel struct {
 	cfg     Config
+	pw      int   // cached Machine.PageWords, on every access path
+	pwShift uint  // log2(pw) when pw is a power of two
+	pwMask  int64 // pw-1 when pw is a power of two
+	pwPow2  bool  // page addresses split with shift/mask, not div/mod
 	engine  *sim.Engine
 	machine *mach.Machine
 	sys     *core.System
@@ -93,13 +97,25 @@ func Boot(cfg Config) (*Kernel, error) {
 	if cfg.DefrostProc < 0 || cfg.DefrostProc >= m.Nodes() {
 		return nil, fmt.Errorf("kernel: DefrostProc %d out of range", cfg.DefrostProc)
 	}
+	pw := m.Config().PageWords
 	k := &Kernel{
 		cfg:     cfg,
+		pw:      pw,
 		engine:  e,
 		machine: m,
 		sys:     sys,
 		mgr:     vm.NewManager(sys),
 		ports:   make(map[string]*Port),
+	}
+	if pw&(pw-1) == 0 {
+		// The usual case (pages are 2^k words): split virtual addresses
+		// into (vpn, offset) with shift/mask instead of div/mod, which
+		// sits on every simulated memory reference.
+		k.pwPow2 = true
+		k.pwMask = int64(pw - 1)
+		for 1<<k.pwShift < pw {
+			k.pwShift++
+		}
 	}
 	// One recorder per machine: the hardware layer's spans (migration
 	// transfers, injected retries) land in the same flight ring and
@@ -111,6 +127,27 @@ func Boot(cfg Config) (*Kernel, error) {
 
 // Run executes the simulation until every thread finishes.
 func (k *Kernel) Run() error { return k.engine.Run() }
+
+// Reset returns the kernel to its just-booted state without rebuilding
+// anything: the engine, machine, coherent memory system and VM manager
+// all reset in place (retaining the buffers, maps and free lists they
+// have grown), the span recorder is re-wired, and the defrost daemon is
+// respawned first — so it gets thread id 0, exactly as after Boot. A
+// reset kernel runs any workload bit-for-bit identically to a freshly
+// booted one; only the allocations are elided.
+//
+// Reset may only be called after Run has returned (the engine panics
+// otherwise). Spaces, zones and ports from the previous run are
+// forgotten; their names may be reused.
+func (k *Kernel) Reset() {
+	k.engine.Reset()
+	k.machine.Reset()
+	k.sys.Reset()
+	k.mgr.Reset()
+	clear(k.ports)
+	k.machine.SetSpanRecorder(k.sys.Spans())
+	k.sys.StartDefrostDaemon(k.cfg.DefrostProc)
+}
 
 // Engine returns the simulation engine.
 func (k *Kernel) Engine() *sim.Engine { return k.engine }
@@ -128,7 +165,7 @@ func (k *Kernel) Manager() *vm.Manager { return k.mgr }
 func (k *Kernel) Nodes() int { return k.machine.Nodes() }
 
 // PageWords returns the page size in 32-bit words.
-func (k *Kernel) PageWords() int { return k.machine.Config().PageWords }
+func (k *Kernel) PageWords() int { return k.pw }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.engine.Now() }

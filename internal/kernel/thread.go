@@ -130,7 +130,11 @@ func (t *Thread) Join(other *Thread) {
 
 // page resolves a word-granular virtual address into (vpn, offset).
 func (t *Thread) page(va int64) (int64, int) {
-	pw := int64(t.k.PageWords())
+	k := t.k
+	if k.pwPow2 {
+		return va >> k.pwShift, int(va & k.pwMask)
+	}
+	pw := int64(k.pw)
 	return va / pw, int(va % pw)
 }
 
@@ -199,13 +203,12 @@ func (t *Thread) WriteRange(va int64, src []uint32) {
 func (t *Thread) Update(va int64, n int, f func(i int, v uint32) uint32) {
 	done := 0
 	for done < n {
-		_, off := t.page(va)
+		vpn, off := t.page(va)
 		run := t.k.PageWords() - off
 		if run > n-done {
 			run = n - done
 		}
 		base := done
-		var mod int
 		t.access(va, run, true, func(w []uint32) {
 			for i := range w {
 				w[i] = f(base+i, w[i])
@@ -213,10 +216,34 @@ func (t *Thread) Update(va int64, n int, f func(i int, v uint32) uint32) {
 		})
 		// The write-mode access charged the store pass; charge the load
 		// pass against the page's current module.
-		vpn, _ := t.page(va)
 		if c, err := t.k.sys.Touch(t.st, t.proc, t.space.vs.Cmap(), vpn, false); err == nil {
-			mod = c.Module
-			t.k.machine.Access(t.st, t.proc, mod, run, false)
+			t.k.machine.Access(t.st, t.proc, c.Module, run, false)
+		}
+		done += run
+		va += int64(run)
+	}
+}
+
+// UpdateSlice applies f to each page run of [va, va+n) as a whole
+// slice: f(base, w) must update w in place, where w holds the words at
+// [va+base, va+base+len(w)). Charging is identical to Update — one read
+// pass plus one write pass per touched page run — but f runs once per
+// run instead of once per word, so tight numeric kernels avoid a
+// dynamic call per element.
+func (t *Thread) UpdateSlice(va int64, n int, f func(base int, w []uint32)) {
+	done := 0
+	for done < n {
+		vpn, off := t.page(va)
+		run := t.k.PageWords() - off
+		if run > n-done {
+			run = n - done
+		}
+		base := done
+		t.access(va, run, true, func(w []uint32) { f(base, w) })
+		// The write-mode access charged the store pass; charge the load
+		// pass against the page's current module.
+		if c, err := t.k.sys.Touch(t.st, t.proc, t.space.vs.Cmap(), vpn, false); err == nil {
+			t.k.machine.Access(t.st, t.proc, c.Module, run, false)
 		}
 		done += run
 		va += int64(run)
@@ -227,8 +254,7 @@ func (t *Thread) Update(va int64, n int, f func(i int, v uint32) uint32) {
 // value. It models the Butterfly's atomic memory operations as one read
 // cycle plus one write cycle at the page's current copy.
 func (t *Thread) AtomicAdd(va int64, delta uint32) uint32 {
-	_, off := t.page(va)
-	vpn := va / int64(t.k.PageWords())
+	vpn, off := t.page(va)
 	var nv uint32
 	c, err := t.k.sys.Resolve(t.st, t.proc, t.space.vs.Cmap(), vpn, true,
 		func(w []uint32) {

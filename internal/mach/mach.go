@@ -195,6 +195,18 @@ func (m *Machine) Nodes() int { return m.cfg.Nodes }
 // Module returns the stats record for module mod.
 func (m *Machine) Module(mod int) *Module { return &m.modules[mod] }
 
+// Reset returns the machine to its freshly-constructed state: every
+// module idle with zeroed statistics, and the access-fault hook and
+// span recorder cleared (the kernel re-wires the recorder on reuse,
+// exactly as it does at boot). The configuration is kept.
+func (m *Machine) Reset() {
+	for i := range m.modules {
+		m.modules[i] = Module{}
+	}
+	m.accessFault = nil
+	m.rec = nil
+}
+
 // BusyUntil reports when module mod's current request queue drains.
 func (m *Machine) BusyUntil(mod int) sim.Time { return m.modules[mod].busyUntil }
 
@@ -272,7 +284,7 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 		// reconciles between spans and accounting.
 		at := t.Now() + queue + lat
 		o := m.rec.Begin(span.KindRetry, at).Proc(proc).Track(t.ID()).
-			Attribute(sim.CauseRetry, retry).Note(fmt.Sprintf("module %d busy", mod))
+			Attribute(sim.CauseRetry, retry).Notef("module %d busy", mod)
 		o.End(at + retry)
 	}
 	total := queue + lat + retry
@@ -354,7 +366,7 @@ func (m *Machine) blockTransferAt(t *sim.Thread, now sim.Time, src, dst, words i
 			o := m.rec.Begin(span.KindBlockTransfer, now+queue).
 				Proc(dst).Track(t.ID()).
 				Attribute(sim.CauseBlockTransfer, dur).
-				Note(fmt.Sprintf("stack %d->%d", src, dst))
+				Notef("stack %d->%d", src, dst)
 			o.End(now + queue + dur)
 		}
 		t.Advance(total)

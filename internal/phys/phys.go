@@ -67,6 +67,22 @@ func NewMemory(nodes, framesPerModule, pageWords int) (*Memory, error) {
 // Module returns the physical memory of one node.
 func (m *Memory) Module(mod int) *ModuleMemory { return &m.modules[mod] }
 
+// Reset returns the memory to its freshly-constructed state: every
+// frame free and every IPT slot never-used (noCpage, not a tombstone —
+// tombstones would lengthen probe chains and change simulated costs
+// relative to a fresh boot). The frames' word buffers are kept: claim
+// zeroes a recycled buffer on allocation, so page contents start from
+// zero exactly as on first use.
+func (m *Memory) Reset() {
+	for i := range m.modules {
+		mm := &m.modules[i]
+		for j := range mm.frames {
+			mm.frames[j].cpage = noCpage
+		}
+		mm.free = len(mm.frames)
+	}
+}
+
 // PageWords returns the page size in words.
 func (m *Memory) PageWords() int { return m.pageWords }
 

@@ -150,6 +150,8 @@ func (a *Account) Add(b *Account) {
 // cause c in the thread's account and, if the thread is bound to a
 // node, in the engine's per-node account. Called with c ==
 // CauseUnattributed it is a no-op.
+//
+//platinum:hotpath
 func (t *Thread) attribute(c Cause, d Time) {
 	if c == CauseUnattributed || d == 0 {
 		return
@@ -166,6 +168,8 @@ func (t *Thread) attribute(c Cause, d Time) {
 // bank records d of freshly charged (or block-jumped) time under cause
 // c without touching the unattributed balance. Advance banks under
 // CauseUnattributed; Unblock banks its clock jump under CauseSync.
+//
+//platinum:hotpath
 func (t *Thread) bank(c Cause, d Time) {
 	if d == 0 {
 		return
@@ -187,6 +191,8 @@ func (t *Thread) Attribute(c Cause, d Time) { t.attribute(c, d) }
 // Charge is Advance(d) with the time attributed to cause c: the single
 // scheduling step is identical to a bare Advance(d), so dispatch order
 // — and every simulation result — is unchanged by the attribution.
+//
+//platinum:hotpath
 func (t *Thread) Charge(c Cause, d Time) {
 	t.attribute(c, d)
 	t.Advance(d)
@@ -200,9 +206,15 @@ func (t *Thread) Charge(c Cause, d Time) {
 // thread from per-node accounting.
 func (t *Thread) BindNode(n int) {
 	if n >= len(t.engine.nodeAcct) {
-		grown := make([]Account, n+1)
-		copy(grown, t.engine.nodeAcct)
-		t.engine.nodeAcct = grown
+		if n < cap(t.engine.nodeAcct) {
+			// Within retained capacity (an engine reused via Reset, which
+			// zeroed the full capacity): extend without allocating.
+			t.engine.nodeAcct = t.engine.nodeAcct[:n+1]
+		} else {
+			grown := make([]Account, n+1)
+			copy(grown, t.engine.nodeAcct)
+			t.engine.nodeAcct = grown
+		}
 	}
 	t.node = n
 }

@@ -31,6 +31,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -82,7 +83,11 @@ type Engine struct {
 	readyND  int // non-daemon threads currently in the ready heap
 	stopping bool
 	fastPath bool
-	fail     error // first thread-body panic, reported by Run
+	// spinIters > 0 enables spin handoff: a thread waiting for the
+	// control token busy-polls its grant mailbox for this many
+	// iterations before parking on its channel (see Thread.park).
+	spinIters int
+	fail      error // first thread-body panic, reported by Run
 
 	// wake returns control to the engine goroutine (blocked in Run or
 	// shutdown) when a yielding or finishing thread cannot hand off to
@@ -98,6 +103,12 @@ type Engine struct {
 	// nodeAcct accumulates per-node cost attribution for threads bound
 	// via Thread.BindNode (see account.go); grown on demand.
 	nodeAcct []Account
+
+	// pool holds finished Thread structs recycled by Reset. Their
+	// goroutines have exited and their resume channels are drained, so
+	// Spawn can reuse the struct and channel for a new thread, starting
+	// a fresh goroutine. Only structs are pooled, never goroutines.
+	pool []*Thread
 }
 
 // ThreadPanicError reports a simulated thread whose body panicked — for
@@ -117,6 +128,8 @@ func (e *ThreadPanicError) Error() string {
 // ready heap (heapIdx >= 0) is not pushed again — its position is fixed
 // up in place for the possibly-updated clock — so the heap never holds
 // duplicate entries and readyND counts each thread at most once.
+//
+//platinum:hotpath
 func (e *Engine) pushReady(t *Thread) {
 	if t.heapIdx >= 0 {
 		e.ready.fix(t.heapIdx)
@@ -130,6 +143,12 @@ func (e *Engine) pushReady(t *Thread) {
 
 // defaultFastPath is the fast-path setting inherited by new engines.
 var defaultFastPath = true
+
+// defaultSpinIters is the spin-handoff setting inherited by new
+// engines. Off by default: spinning trades whole idle processors for
+// handoff latency, which is the right trade only when the process runs
+// one simulation at a time (see SetDefaultSpinHandoff).
+var defaultSpinIters = 0
 
 // SetDefaultFastPath sets whether engines created by NewEngine use the
 // scheduler fast path (see SetFastPath), returning the previous value.
@@ -145,11 +164,51 @@ func SetDefaultFastPath(on bool) bool {
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
 	return &Engine{
-		threads:  make(map[int]*Thread),
-		fastPath: defaultFastPath,
-		wake:     make(chan struct{}),
+		threads:   make(map[int]*Thread),
+		fastPath:  defaultFastPath,
+		spinIters: defaultSpinIters,
+		wake:      make(chan struct{}),
 	}
 }
+
+// SetDefaultSpinHandoff sets the spin-handoff window inherited by
+// engines created by NewEngine (and re-inherited by Engine.Reset),
+// returning the previous value. iters is the number of mailbox polls a
+// waiting thread performs before parking in the scheduler; 0 disables
+// spinning entirely.
+//
+// Spin handoff cuts the cost of a thread-to-thread dispatch from a
+// goroutine wakeup (~hundreds of ns through the runtime scheduler) to
+// one atomic store, at the price of waiting threads burning their
+// processors while they poll. Enable it only when the process runs one
+// simulation at a time with processors to spare — the serial benchmark
+// harness does; a parallel -j sweep must not. Dispatch order, and
+// therefore every simulation result, is bit-for-bit identical either
+// way. Not safe to call concurrently with NewEngine.
+func SetDefaultSpinHandoff(iters int) int {
+	prev := defaultSpinIters
+	defaultSpinIters = iters
+	cap := int32(runtime.GOMAXPROCS(0) - 2)
+	if cap < 0 {
+		cap = 0
+	}
+	spinnerCap.Store(cap)
+	return prev
+}
+
+// SetSpinnerCap overrides the process-wide bound on concurrently
+// spinning waiters (see park). SetDefaultSpinHandoff resets it to
+// GOMAXPROCS-2.
+func SetSpinnerCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	spinnerCap.Store(int32(n))
+}
+
+// SetSpinHandoff sets this engine's spin-handoff window (see
+// SetDefaultSpinHandoff). Must not be called while Run is in progress.
+func (e *Engine) SetSpinHandoff(iters int) { e.spinIters = iters }
 
 // SetFastPath enables or disables the scheduler fast path, under which
 // a thread calling Advance or Yield keeps executing in place whenever
@@ -174,24 +233,32 @@ func (e *Engine) Now() Time { return e.now }
 // Run dispatches it. Spawn may be called before Run or from inside a
 // running thread.
 func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
-	t := &Thread{
-		engine:  e,
-		id:      e.nextID,
-		name:    name,
-		clock:   e.now,
-		born:    e.now,
-		node:    -1,
-		resume:  make(chan struct{}),
-		state:   stateReady,
-		heapIdx: -1,
+	var t *Thread
+	if n := len(e.pool); n > 0 {
+		t = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+	} else {
+		t = &Thread{resume: make(chan struct{})}
 	}
+	t.engine = e
+	t.id = e.nextID
+	t.name = name
+	t.clock = e.now
+	t.daemon = false
+	t.state = stateReady
+	t.heapIdx = -1
+	t.born = e.now
+	t.acct = Account{}
+	t.node = -1
+	t.grant.Store(grantArmed)
 	e.nextID++
 	e.threads[t.id] = t
 	e.nlive++
 	e.pushReady(t)
 
 	go func() {
-		<-t.resume // wait for first dispatch
+		t.park() // wait for first dispatch
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(errStopped); !ok {
@@ -233,6 +300,8 @@ func (e *Engine) Spawn(name string, fn func(*Thread)) *Thread {
 // a recorded panic, or the fast path disabled) the engine goroutine is
 // woken: with the fast path off every dispatch goes through the engine
 // loop, reproducing the reference scheduler for A/B testing.
+//
+//platinum:hotpath
 func (e *Engine) dispatchNext(from *Thread) bool {
 	if e.fastPath && e.fail == nil && e.nlive > 0 && e.readyND > 0 {
 		t := e.ready.pop()
@@ -249,7 +318,7 @@ func (e *Engine) dispatchNext(from *Thread) bool {
 		}
 		t.state = stateRunning
 		e.slowSteps++
-		t.resume <- struct{}{}
+		t.unpark()
 		return false
 	}
 	// Simulation finished, every non-daemon thread blocked, or the
@@ -291,7 +360,7 @@ func (e *Engine) Run() error {
 		e.running = t
 		t.state = stateRunning
 		e.slowSteps++
-		t.resume <- struct{}{}
+		t.unpark()
 		<-e.wake
 	}
 	return e.fail
@@ -317,7 +386,7 @@ func (e *Engine) shutdown() {
 		// panic with errStopped, unwinding it; the thread's exit handler
 		// wakes us rather than dispatching.
 		e.running = t
-		t.resume <- struct{}{}
+		t.unpark()
 		<-e.wake
 		e.running = nil
 	}
@@ -325,3 +394,48 @@ func (e *Engine) shutdown() {
 
 // Live reports the number of unfinished non-daemon threads.
 func (e *Engine) Live() int { return e.nlive }
+
+// Reset returns the engine to its freshly-constructed state — virtual
+// time zero, no threads, thread ids restarting at 0 — while retaining
+// every buffer it has grown: the ready heap's backing array, the
+// per-node account slice, and the finished Thread structs (with their
+// resume channels), which go into a free list that Spawn draws from.
+// A reset engine behaves bit-for-bit identically to one from NewEngine;
+// only the allocations are elided.
+//
+// Reset may only be called after Run has returned (or before any thread
+// was spawned): every thread goroutine must have unwound. It panics if
+// an unfinished thread remains.
+func (e *Engine) Reset() {
+	for _, t := range e.threads {
+		if t.state != stateDone {
+			panic(fmt.Sprintf("sim: Reset with unfinished thread %q", t.name))
+		}
+		e.pool = append(e.pool, t)
+	}
+	clear(e.threads)
+	// The heap may still hold entries for finished daemon threads that
+	// were never popped; drop them, keeping the backing array.
+	for i := range e.ready.items {
+		e.ready.items[i] = nil
+	}
+	e.ready.items = e.ready.items[:0]
+	e.nextID = 0
+	e.now = 0
+	e.running = nil
+	e.nlive = 0
+	e.readyND = 0
+	e.stopping = false
+	e.fastPath = defaultFastPath
+	e.spinIters = defaultSpinIters // re-inherit, like NewEngine
+	e.fail = nil
+	e.fastSteps = 0
+	e.slowSteps = 0
+	// Zero the full capacity so BindNode can re-extend the slice within
+	// it and expose only zeroed accounts.
+	acct := e.nodeAcct[:cap(e.nodeAcct)]
+	for i := range acct {
+		acct[i] = Account{}
+	}
+	e.nodeAcct = e.nodeAcct[:0]
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 type threadState uint8
 
@@ -23,6 +26,14 @@ type Thread struct {
 	state  threadState
 
 	resume chan struct{} // dispatcher (engine or peer thread) -> thread: run
+
+	// grant is the spin-handoff mailbox (see Engine.SetSpinHandoff):
+	// grantArmed while the thread is waiting (or about to wait) for the
+	// control token, grantGiven once a dispatcher has handed it over,
+	// grantParked once the waiter gave up spinning and committed to a
+	// channel receive. Unused (always grantArmed) when spin handoff is
+	// off.
+	grant atomic.Uint32
 
 	heapIdx int // index in the ready heap, -1 if absent
 
@@ -69,16 +80,88 @@ func (t *Thread) SetDaemon(d bool) {
 	}
 }
 
+// Spin-handoff mailbox states.
+const (
+	grantArmed  = 0 // waiting (or about to wait) for the control token
+	grantGiven  = 1 // a dispatcher handed the token over
+	grantParked = 2 // the waiter committed to a channel receive
+)
+
+// spinners counts threads (process-wide, across engines) currently
+// busy-polling in park. Capping it below GOMAXPROCS guarantees the
+// control-token holder always has a free processor to run on — without
+// the cap, a full complement of spinners can starve the one runnable
+// goroutine for an entire spin window.
+var spinners atomic.Int32
+
+// spinnerCap is the maximum concurrent spinners, refreshed from
+// GOMAXPROCS whenever the spin-handoff default changes.
+var spinnerCap atomic.Int32
+
+// park waits until a dispatcher hands this thread the control token.
+// With spin handoff enabled the thread first busy-polls its grant
+// mailbox — a token that arrives within the window costs the granter a
+// single atomic store instead of a goroutine wakeup through the
+// scheduler — and only then falls back to the resume channel. The
+// dispatch order is identical either way; only the host-side handoff
+// mechanics differ.
+//
+// Blocked threads skip the spin: they wait for another thread's
+// Unblock plus a dispatch, typically far beyond any sensible window,
+// so polling would only waste a processor.
+//
+//platinum:hotpath
+func (t *Thread) park() {
+	if spin := t.engine.spinIters; spin > 0 && t.state != stateBlocked {
+		if spinners.Add(1) <= spinnerCap.Load() {
+			for i := 0; i < spin; i++ {
+				if t.grant.Load() != grantArmed {
+					t.grant.Store(grantArmed)
+					spinners.Add(-1)
+					return
+				}
+			}
+		}
+		spinners.Add(-1)
+		if !t.grant.CompareAndSwap(grantArmed, grantParked) {
+			// The token arrived between the last poll and the CAS.
+			t.grant.Store(grantArmed)
+			return
+		}
+	}
+	<-t.resume
+}
+
+// unpark hands the control token to t, which is waiting in park (or on
+// its way there — the grant mailbox makes the handoff correct even when
+// the waiter has not yet started spinning, exactly as an unbuffered
+// channel send would).
+//
+//platinum:hotpath
+func (t *Thread) unpark() {
+	if t.engine.spinIters > 0 {
+		if t.grant.CompareAndSwap(grantArmed, grantGiven) {
+			return
+		}
+		// The waiter committed to the channel; restore its mailbox and
+		// wake it the slow way.
+		t.grant.Store(grantArmed)
+	}
+	t.resume <- struct{}{}
+}
+
 // yield hands the control token to the next runnable thread and parks
 // until dispatched again. If this thread is itself still the earliest
 // runnable thread, it keeps executing without parking at all.
+//
+//platinum:hotpath
 func (t *Thread) yield() {
 	e := t.engine
 	if e.dispatchNext(t) {
 		t.state = stateRunning
 		return
 	}
-	<-t.resume
+	t.park()
 	if e.stopping {
 		panic(errStopped{})
 	}
@@ -96,6 +179,8 @@ func (t *Thread) yield() {
 // per reference for any phase where one thread runs behind all others
 // (in particular the whole of every 1-processor run) while leaving the
 // dispatch order bit-for-bit identical.
+//
+//platinum:hotpath
 func (t *Thread) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative Advance(%d) by thread %q", d, t.name))
@@ -130,8 +215,8 @@ func (t *Thread) Advance(d Time) {
 			e.running = u
 			u.state = stateRunning
 			e.slowSteps++
-			u.resume <- struct{}{}
-			<-t.resume
+			u.unpark()
+			t.park()
 			if e.stopping {
 				panic(errStopped{})
 			}

@@ -72,8 +72,8 @@ func WriteChrome(w io.Writer, spans []Span) error {
 	for _, sp := range ordered {
 		tr := track{spanPid(sp), int64(sp.Track)}
 		pids[tr.pid] = true
-		if sp.Kind == KindSlice && sp.Note != "" {
-			names[tr] = sp.Note
+		if sp.Kind == KindSlice && sp.NoteText() != "" {
+			names[tr] = sp.NoteText()
 		} else if _, ok := names[tr]; !ok {
 			names[tr] = fmt.Sprintf("thread %d", sp.Track)
 		}
@@ -129,8 +129,8 @@ func WriteChrome(w io.Writer, spans []Span) error {
 			args["state"] = sp.State
 			args["dir_mask"] = sp.DirMask
 		}
-		if sp.Note != "" {
-			args["note"] = sp.Note
+		if note := sp.NoteText(); note != "" {
+			args["note"] = note
 		}
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: sp.Kind.String(), Cat: sp.Cause.String(), Ph: "X",
@@ -142,7 +142,7 @@ func WriteChrome(w io.Writer, spans []Span) error {
 			// the overlap that queued concurrent faults produce on a page
 			// timeline, which complete events would render as nonsense.
 			id := fmt.Sprintf("span-%d", sp.ID)
-			pageArgs := map[string]any{"proc": sp.Proc, "note": sp.Note}
+			pageArgs := map[string]any{"proc": sp.Proc, "note": sp.NoteText()}
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: sp.Kind.String(), Cat: "page", Ph: "b", ID: id,
 				Ts: usec(int64(sp.Start)), Pid: chromePagePid, Tid: sp.Page,

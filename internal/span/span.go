@@ -197,6 +197,27 @@ type Span struct {
 	State   string // page protocol state tag ("" when not applicable)
 	DirMask uint64 // page directory bitmask at record time
 	Note    string // cause tag: "write-fault", "migrate", thread name, ...
+
+	// Lazy note: when Note is empty and NoteFmt is set, the span's note
+	// is NoteFmt with NoteArg0 (and NoteArg1 when NoteN == 2)
+	// substituted. Hot paths use these instead of Note so recording a
+	// span never formats a string; NoteText renders on demand at export
+	// time. Note and NoteFmt are mutually exclusive — Note wins.
+	NoteFmt            string
+	NoteArg0, NoteArg1 int
+	NoteN              uint8
+}
+
+// NoteText renders the span's note: the free-form Note when set,
+// otherwise the lazy NoteFmt/NoteArg form ("" when neither is set).
+func (sp Span) NoteText() string {
+	if sp.Note != "" || sp.NoteFmt == "" {
+		return sp.Note
+	}
+	if sp.NoteN <= 1 {
+		return fmt.Sprintf(sp.NoteFmt, sp.NoteArg0)
+	}
+	return fmt.Sprintf(sp.NoteFmt, sp.NoteArg0, sp.NoteArg1)
 }
 
 // Dur returns the span's duration.
@@ -223,6 +244,10 @@ type Recorder struct {
 	retain    []Span
 	retainCap int
 	dropped   int64 // spans not retained because the buffer was full
+
+	// opens is a free list of Open structs recycled by End, so a
+	// Begin/End pair allocates nothing once the recorder is warm.
+	opens []*Open
 }
 
 // NewRecorder returns a recorder whose flight ring holds flightCap
@@ -243,20 +268,22 @@ func (r *Recorder) Alloc() ID {
 
 // Record stores one completed span, assigning an ID if the caller did
 // not Alloc one. It returns the span's ID.
+//
+//platinum:hotpath
 func (r *Recorder) Record(sp Span) ID {
 	if sp.ID == None {
 		sp.ID = r.Alloc()
 	}
 	r.total++
 	if len(r.ring) < r.rcap {
-		r.ring = append(r.ring, sp)
+		r.ring = append(r.ring, sp) //lint:ignore platinum/hotalloc ring warm-up growth, capped at rcap
 	} else {
 		r.ring[r.head] = sp
 		r.head = (r.head + 1) % r.rcap
 	}
 	if r.retaining {
 		if len(r.retain) < r.retainCap {
-			r.retain = append(r.retain, sp)
+			r.retain = append(r.retain, sp) //lint:ignore platinum/hotalloc export-mode retention, capped at retainCap
 		} else {
 			r.dropped++
 		}
@@ -280,8 +307,22 @@ type Open struct {
 // Begin starts a span of the given kind at start. The returned Open
 // must be ended (or handed off to an owner that ends it); it records
 // nothing until then. Proc and Page default to -1 (not applicable).
+// The Open comes from the recorder's free list when one is available;
+// End returns it there, so steady-state Begin/End pairs do not
+// allocate.
+//
+//platinum:hotpath
 func (r *Recorder) Begin(kind Kind, start sim.Time) *Open {
-	return &Open{r: r, sp: Span{Kind: kind, Start: start, Proc: -1, Page: -1}}
+	var o *Open
+	if n := len(r.opens); n > 0 {
+		o = r.opens[n-1]
+		r.opens[n-1] = nil
+		r.opens = r.opens[:n-1]
+	} else {
+		o = new(Open) //lint:ignore platinum/hotalloc free-list warm-up miss
+	}
+	*o = Open{r: r, sp: Span{Kind: kind, Start: start, Proc: -1, Page: -1}}
+	return o
 }
 
 // Parent links the span under an enclosing span.
@@ -299,6 +340,18 @@ func (o *Open) Page(p int64) *Open { o.sp.Page = p; return o }
 // Note sets the free-form cause tag.
 func (o *Open) Note(n string) *Open { o.sp.Note = n; return o }
 
+// Notef sets a lazily-rendered note: a format string plus up to two
+// integer arguments, substituted only when the note is read (NoteText)
+// at export time. Hot paths use this instead of Note so a recorded
+// span never pays for string formatting it may never need.
+func (o *Open) Notef(format string, a int, rest ...int) *Open {
+	o.sp.NoteFmt, o.sp.NoteArg0, o.sp.NoteN = format, a, 1
+	if len(rest) > 0 {
+		o.sp.NoteArg1, o.sp.NoteN = rest[0], 2
+	}
+	return o
+}
+
 // Attribute sets the cause and the slice of the span's duration it
 // alone attributes to that cause (the Span.Cause/Span.Self pair that
 // reconciliation sums).
@@ -310,16 +363,24 @@ func (o *Open) Attribute(c sim.Cause, self sim.Time) *Open {
 // End closes the span at end and records it, returning the recorded
 // span's ID. The ID is allocated here, not at Begin, so a Begin/End
 // pair records exactly what a single Record of the completed span
-// would — byte-identical exports either way. Ending twice records
-// nothing the second time and returns the original ID.
+// would — byte-identical exports either way. End also returns the Open
+// to the recorder's free list for reuse by a later Begin, so the Open
+// must not be used again after End — exactly one End per Begin, the
+// discipline the platinum/spanpair analyzer enforces statically.
+// (Ending an Open twice before the free list re-issues it records
+// nothing the second time and returns the original ID.)
+//
+//platinum:hotpath
 func (o *Open) End(end sim.Time) ID {
 	if o.done {
 		return o.sp.ID
 	}
 	o.done = true
 	o.sp.End = end
-	o.sp.ID = o.r.Record(o.sp)
-	return o.sp.ID
+	id := o.r.Record(o.sp)
+	o.sp.ID = id
+	o.r.opens = append(o.r.opens, o) //lint:ignore platinum/hotalloc free-list warm-up growth
+	return id
 }
 
 // EnableRetain starts retaining every recorded span, up to capacity
@@ -332,20 +393,36 @@ func (r *Recorder) EnableRetain(capacity int) {
 	}
 	r.retaining = true
 	r.retainCap = capacity
-	r.retain = nil
+	r.retain = r.retain[:0] // keep the backing array across runs
 	r.dropped = 0
 }
 
-// DisableRetain stops retaining and discards the retained buffer. The
-// flight ring keeps recording.
+// DisableRetain stops retaining and discards the retained buffer's
+// contents (its backing array is kept for reuse). The flight ring keeps
+// recording.
 func (r *Recorder) DisableRetain() {
 	r.retaining = false
-	r.retain = nil
+	r.retain = r.retain[:0]
 	r.dropped = 0
 }
 
 // Retaining reports whether a retained export buffer is active.
 func (r *Recorder) Retaining() bool { return r.retaining }
+
+// Reset returns the recorder to its freshly-constructed state — span
+// ids restarting at 1, empty flight ring, retention off — while
+// keeping every buffer it has grown (the ring and retained backing
+// arrays and the Open free list). A reset recorder records
+// byte-for-byte the same spans a new one would.
+func (r *Recorder) Reset() {
+	r.next = 0
+	r.ring = r.ring[:0]
+	r.head = 0
+	r.total = 0
+	r.retaining = false
+	r.retain = r.retain[:0]
+	r.dropped = 0
+}
 
 // Spans returns a copy of the retained spans sorted by start time
 // (ties by ID, which is completion order).
@@ -405,8 +482,8 @@ func Format(w io.Writer, spans []Span) (int64, error) {
 		if err != nil {
 			return n, err
 		}
-		if sp.Note != "" {
-			k, err = fmt.Fprintf(w, " (%s)", sp.Note)
+		if note := sp.NoteText(); note != "" {
+			k, err = fmt.Fprintf(w, " (%s)", note)
 			n += int64(k)
 			if err != nil {
 				return n, err

@@ -53,6 +53,19 @@ func NewManager(sys *core.System) *Manager {
 // System returns the underlying coherent memory system.
 func (m *Manager) System() *core.System { return m.sys }
 
+// Reset forgets every object and address space, returning the manager
+// to its freshly-constructed state (object ids and space ids restart at
+// zero). The coherent memory system must be reset alongside it — the
+// kernel's Reset does both in order.
+func (m *Manager) Reset() {
+	clear(m.objects)
+	m.nextObj = 0
+	for i := range m.spaces {
+		m.spaces[i] = nil
+	}
+	m.spaces = m.spaces[:0]
+}
+
 // NewObject creates a memory object of npages pages. The name must be
 // unique; pages are labeled "name[i]" in instrumentation reports.
 func (m *Manager) NewObject(name string, npages int) (*Object, error) {
@@ -66,7 +79,9 @@ func (m *Manager) NewObject(name string, npages int) (*Object, error) {
 	m.nextObj++
 	for i := range o.cpages {
 		cp := m.sys.NewCpage()
-		cp.SetLabel(fmt.Sprintf("%s[%d]", name, i))
+		// Lazy indexed label: reports render "name[i]" on demand, so
+		// object creation does not format one string per page.
+		cp.SetLabelIndexed(name, i)
 		o.cpages[i] = cp
 	}
 	m.objects[name] = o

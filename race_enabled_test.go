@@ -1,0 +1,9 @@
+//go:build race
+
+package platinum
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector instruments allocations of its own, so the alloc-regression
+// tests (alloc_test.go) skip under -race; the non-instrumented CI lane
+// still enforces them.
+const raceEnabled = true

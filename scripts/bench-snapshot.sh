@@ -11,16 +11,40 @@
 #
 # Usage (from the repository root):
 #
-#   ./scripts/bench-snapshot.sh [out.json]
+#   ./scripts/bench-snapshot.sh [out.json] [prev.json]
 #
 # The default output file is BENCH_0.json; pass a different name (e.g.
-# BENCH_1.json after an optimization) and diff the two. Numbers are
-# host-dependent — compare snapshots only from the same machine.
+# BENCH_1.json after an optimization) and diff the two. When a previous
+# snapshot is given as the second argument, a delta table (ns/op and
+# allocs/op, percent change per benchmark) is printed after the run.
+# Numbers are host-dependent — compare snapshots only from the same
+# machine.
+#
+# A snapshot is only meaningful if it names the exact code it measured,
+# so a dirty work tree fails the run; set ALLOW_DIRTY=1 to override
+# (the recorded git_sha is then suffixed "-dirty").
 set -eu
 
 OUT=${1:-BENCH_0.json}
+PREV=${2:-}
 SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 BENCHTIME=${BENCHTIME:-1s}
+
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+	if [ "${ALLOW_DIRTY:-0}" = "1" ]; then
+		SHA="$SHA-dirty"
+		echo "bench-snapshot: WARNING: work tree is dirty; recording git_sha $SHA" >&2
+	else
+		echo "bench-snapshot: work tree is dirty — commit first so the snapshot's" >&2
+		echo "bench-snapshot: git_sha names the measured code (or set ALLOW_DIRTY=1)" >&2
+		exit 1
+	fi
+fi
+
+if [ -n "$PREV" ] && [ ! -r "$PREV" ]; then
+	echo "bench-snapshot: previous snapshot $PREV not readable" >&2
+	exit 1
+fi
 
 echo "bench-snapshot: running benchmarks (benchtime $BENCHTIME)..."
 RAW=$(go test -run '^$' \
@@ -50,3 +74,44 @@ fi
 
 echo "bench-snapshot: wrote $(wc -l <"$OUT") entries to $OUT"
 cat "$OUT"
+
+if [ -n "$PREV" ]; then
+	echo ""
+	echo "bench-snapshot: delta vs $PREV"
+	# Join the two snapshots by benchmark name. Entries present in only
+	# one snapshot are listed without a delta.
+	awk '
+		function field(line, key,   rest) {
+			rest = line
+			if (!sub(".*\"" key "\": *", "", rest)) return ""
+			sub("[,}].*", "", rest)
+			gsub("\"", "", rest)
+			return rest
+		}
+		NR == FNR {
+			n = field($0, "name")
+			if (n != "") { pns[n] = field($0, "ns_per_op"); pal[n] = field($0, "allocs_per_op") }
+			next
+		}
+		{
+			n = field($0, "name")
+			if (n == "") next
+			order[++count] = n
+			ns[n] = field($0, "ns_per_op"); al[n] = field($0, "allocs_per_op")
+		}
+		END {
+			printf "%-40s %15s %15s %8s %12s %12s %8s\n",
+				"benchmark", "ns/op(prev)", "ns/op(now)", "d%", "allocs(prev)", "allocs(now)", "d%"
+			for (i = 1; i <= count; i++) {
+				n = order[i]
+				if (n in pns) {
+					dns = (pns[n] > 0) ? sprintf("%+.1f", 100 * (ns[n] - pns[n]) / pns[n]) : "n/a"
+					dal = (pal[n] > 0) ? sprintf("%+.1f", 100 * (al[n] - pal[n]) / pal[n]) : (al[n] > 0 ? "new" : "0=0")
+					printf "%-40s %15s %15s %8s %12s %12s %8s\n", n, pns[n], ns[n], dns, pal[n], al[n], dal
+				} else {
+					printf "%-40s %15s %15s %8s %12s %12s %8s\n", n, "-", ns[n], "new", "-", al[n], "new"
+				}
+			}
+		}
+	' "$PREV" "$OUT"
+fi
