@@ -4,15 +4,17 @@
 // Usage:
 //
 //	platinum-bench [-quick] [-exp id[,id...]] [-j N] [-json] [-list]
-//	               [-cpuprofile file] [-memprofile file]
+//	               [-topology file.json] [-cpuprofile file] [-memprofile file]
 //
 // With no -exp it runs every experiment. -quick scales problem sizes
 // down (the full sizes are the paper's). -j bounds how many independent
 // simulation runs execute concurrently (default: all CPUs); the tables
 // are identical at any setting. -json emits one JSON object per
 // experiment instead of aligned tables. -list prints the experiment
-// index and exits. -cpuprofile / -memprofile write runtime/pprof
-// profiles of the run for `go tool pprof` (see EXPERIMENTS.md).
+// index and exits. -topology loads a machine description in the
+// TOPOLOGY.md JSON format for experiments that accept one (topo-custom).
+// -cpuprofile / -memprofile write runtime/pprof profiles of the run for
+// `go tool pprof` (see EXPERIMENTS.md).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"platinum/internal/exp"
+	"platinum/internal/mach"
 )
 
 // jsonResult is the machine-readable form of one experiment's table.
@@ -45,6 +48,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulation runs per experiment")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment")
+	topoFile := flag.String("topology", "", "topology JSON file (TOPOLOGY.md format) for topo-custom")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -98,6 +102,14 @@ func main() {
 	}
 
 	opts := exp.Options{Quick: *quick, Parallelism: *jobs}
+	if *topoFile != "" {
+		topo, err := mach.LoadTopology(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "platinum-bench: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Topology = topo
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, e := range todo {
 		start := time.Now()

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+
+	"platinum/internal/sim"
+)
+
+// TopoMix is the bounded microworkload behind the generalized-topology
+// sweeps (topo-nodes / topo-skew / topo-tiers in internal/exp). Unlike
+// the paper's applications — Gaussian elimination is O(n³) and
+// infeasible at 1024 nodes — TopoMix gives every processor a constant
+// amount of work regardless of machine size, so elapsed time measures
+// how the machine and the coherency protocol scale, not how the
+// problem grows.
+//
+// Each processor runs the same mix per round:
+//
+//   - writes and reads within its own private page (perfect locality —
+//     the page migrates to, then stays on, its owner's module);
+//   - reads from a small set of shared read-mostly pages (replication
+//     traffic: every module eventually holds a copy);
+//   - every HotWriteEvery-th round, one atomic increment of a
+//     write-shared hot counter page (migration/invalidation traffic —
+//     the freeze/defrost pressure point).
+//
+// The computation is verified: each processor checks its private page
+// contents, and the last processor to finish checks that the hot
+// counters sum to exactly the number of increments issued, so a
+// coherency bug on any topology surfaces as a wrong answer.
+type TopoMixConfig struct {
+	Procs     int // processors used (one thread each)
+	PageWords int // must match the machine's page size
+	Rounds    int // rounds per processor
+
+	LocalRefs     int // private-page references per round
+	SharedReads   int // read-mostly page reads per round
+	HotWriteEvery int // one hot-counter increment every k-th round
+
+	ReadPages int // size of the shared read-mostly set
+	HotPages  int // size of the write-shared counter set
+}
+
+// DefaultTopoMixConfig returns the sweep workload: constant per-proc
+// work sized so a 1024-node run stays affordable.
+func DefaultTopoMixConfig(procs, pageWords int) TopoMixConfig {
+	return TopoMixConfig{
+		Procs:         procs,
+		PageWords:     pageWords,
+		Rounds:        24,
+		LocalRefs:     64,
+		SharedReads:   16,
+		HotWriteEvery: 4,
+		ReadPages:     8,
+		HotPages:      4,
+	}
+}
+
+// TopoMixResult carries the workload's outcome.
+type TopoMixResult struct {
+	Elapsed sim.Time
+}
+
+// RunTopoMix executes the workload on pl and verifies its results.
+func RunTopoMix(pl Platform, cfg TopoMixConfig) (TopoMixResult, error) {
+	if err := checkProcs(pl, cfg.Procs); err != nil {
+		return TopoMixResult{}, err
+	}
+	if cfg.PageWords < 1 || cfg.Rounds < 1 || cfg.LocalRefs < 1 ||
+		cfg.HotWriteEvery < 1 || cfg.ReadPages < 1 || cfg.HotPages < 1 {
+		return TopoMixResult{}, fmt.Errorf("apps: bad topomix config %+v", cfg)
+	}
+	pw := cfg.PageWords
+	privBase, err := pl.Alloc("topomix-priv", cfg.Procs*pw)
+	if err != nil {
+		return TopoMixResult{}, err
+	}
+	readBase, err := pl.Alloc("topomix-read", cfg.ReadPages*pw)
+	if err != nil {
+		return TopoMixResult{}, err
+	}
+	hotBase, err := pl.Alloc("topomix-hot", cfg.HotPages*pw)
+	if err != nil {
+		return TopoMixResult{}, err
+	}
+	doneBase, err := pl.Alloc("topomix-done", 1)
+	if err != nil {
+		return TopoMixResult{}, err
+	}
+
+	hotWrites := (cfg.Rounds + cfg.HotWriteEvery - 1) / cfg.HotWriteEvery
+	var runErr error
+	fail := func(e error) {
+		if runErr == nil {
+			runErr = e
+		}
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		proc := p
+		pl.Spawn(fmt.Sprintf("topomix-%d", proc), proc, func(t Env) {
+			priv := privBase + int64(proc*pw)
+			for r := 0; r < cfg.Rounds; r++ {
+				// Private-page work: one write stamping the round, then
+				// reads over the page (constant locality per round).
+				w := (r * 7) % pw
+				t.Write(priv+int64(w), uint32(proc*cfg.Rounds+r+1))
+				for i := 0; i < cfg.LocalRefs-1; i++ {
+					t.Read(priv + int64((w+i)%pw))
+				}
+				// Shared read-mostly pages: spread so neighbours start on
+				// different pages but everyone covers the whole set.
+				for i := 0; i < cfg.SharedReads; i++ {
+					page := (proc + r + i) % cfg.ReadPages
+					t.Read(readBase + int64(page*pw+(r%pw)))
+				}
+				// Hot counters: the write-sharing the policy must survive.
+				if r%cfg.HotWriteEvery == 0 {
+					page := (proc + r/cfg.HotWriteEvery) % cfg.HotPages
+					t.AtomicAdd(hotBase+int64(page*pw), 1)
+				}
+				t.Compute(2 * sim.Microsecond)
+			}
+			// Verify the private page: the last value written per word
+			// survives all the coherency traffic.
+			last := make(map[int]uint32)
+			for r := 0; r < cfg.Rounds; r++ {
+				last[(r*7)%pw] = uint32(proc*cfg.Rounds + r + 1)
+			}
+			for w, want := range last {
+				if got := t.Read(priv + int64(w)); got != want {
+					fail(fmt.Errorf("apps: topomix proc %d: priv[%d] = %d, want %d", proc, w, got, want))
+					return
+				}
+			}
+			// The last processor to finish audits the hot counters.
+			if t.AtomicAdd(doneBase, 1) == uint32(cfg.Procs) {
+				var sum uint32
+				for page := 0; page < cfg.HotPages; page++ {
+					sum += t.Read(hotBase + int64(page*pw))
+				}
+				if want := uint32(cfg.Procs * hotWrites); sum != want {
+					fail(fmt.Errorf("apps: topomix hot counters sum %d, want %d", sum, want))
+				}
+			}
+		})
+	}
+	if err := pl.Run(); err != nil {
+		return TopoMixResult{}, err
+	}
+	if runErr != nil {
+		return TopoMixResult{}, runErr
+	}
+	return TopoMixResult{Elapsed: pl.Elapsed()}, nil
+}

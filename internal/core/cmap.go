@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"platinum/internal/procset"
 	"platinum/internal/sim"
 	"platinum/internal/span"
 )
@@ -20,7 +21,7 @@ type pmapEntry struct {
 type cmapMsg struct {
 	vpn      int64
 	restrict bool
-	targets  uint64 // processors that still have to apply the change
+	targets  procset.Set // processors that still have to apply the change
 }
 
 // CmapEntry maps one virtual page of an address space to a coherent
@@ -32,7 +33,7 @@ type CmapEntry struct {
 	vpn     int64
 	cp      *Cpage
 	rights  Rights
-	refMask uint64
+	refMask procset.Set
 }
 
 // Cpage returns the coherent page the entry maps.
@@ -49,8 +50,8 @@ type Cmap struct {
 	sys     *System
 	entries map[int64]*CmapEntry
 	pmaps   []map[int64]pmapEntry
-	active  uint64 // processors with this address space active
-	actives []int  // activation refcount per processor
+	active  procset.Set // processors with this address space active
+	actives []int       // activation refcount per processor
 	msgs    []cmapMsg
 }
 
@@ -85,14 +86,16 @@ func (s *System) NewCmap() *Cmap {
 // system's entry pool.
 func (cm *Cmap) recycle(s *System) {
 	for vpn, e := range cm.entries {
-		*e = CmapEntry{}
+		rm := e.refMask
+		rm.Clear()
+		*e = CmapEntry{refMask: rm} // keep the reference set's overflow words
 		s.entryPool = append(s.entryPool, e)
 		delete(cm.entries, vpn)
 	}
 	for i := range cm.pmaps {
 		clear(cm.pmaps[i])
 	}
-	cm.active = 0
+	cm.active.Clear()
 	for i := range cm.actives {
 		cm.actives[i] = 0
 	}
@@ -118,7 +121,7 @@ func (cm *Cmap) Enter(vpn int64, cp *Cpage, rights Rights) (*CmapEntry, error) {
 	} else {
 		e = &CmapEntry{}
 	}
-	*e = CmapEntry{cmap: cm, vpn: vpn, cp: cp, rights: rights}
+	*e = CmapEntry{cmap: cm, vpn: vpn, cp: cp, rights: rights, refMask: e.refMask}
 	cm.entries[vpn] = e
 	cp.mappers = append(cp.mappers, e)
 	return e, nil
@@ -136,7 +139,7 @@ func (cm *Cmap) DiscardUnused(vpn int64) error {
 	if e == nil {
 		return fmt.Errorf("core: vpn %d not mapped in cmap %d", vpn, cm.id)
 	}
-	if e.refMask != 0 {
+	if !e.refMask.Empty() {
 		return fmt.Errorf("core: vpn %d has live translations, cannot discard", vpn)
 	}
 	for i, m := range e.cp.mappers {
@@ -191,17 +194,16 @@ func (cm *Cmap) Activate(t *sim.Thread, proc int) {
 	if cm.actives[proc] > 1 {
 		return
 	}
-	cm.active |= 1 << uint(proc)
+	cm.active.Add(proc)
 	var cost sim.Time
-	bit := uint64(1) << uint(proc)
 	out := cm.msgs[:0]
 	for _, m := range cm.msgs {
-		if m.targets&bit != 0 {
+		if m.targets.Has(proc) {
 			cm.applyMsg(proc, m)
-			m.targets &^= bit
+			m.targets.Del(proc)
 			cost += cm.sys.cfg.MsgApply
 		}
-		if m.targets != 0 {
+		if !m.targets.Empty() {
 			out = append(out, m)
 		}
 	}
@@ -227,13 +229,13 @@ func (cm *Cmap) Deactivate(proc int) error {
 	}
 	cm.actives[proc]--
 	if cm.actives[proc] == 0 {
-		cm.active &^= 1 << uint(proc)
+		cm.active.Del(proc)
 	}
 	return nil
 }
 
 // Active reports whether the space is active on proc.
-func (cm *Cmap) Active(proc int) bool { return cm.active&(1<<uint(proc)) != 0 }
+func (cm *Cmap) Active(proc int) bool { return cm.active.Has(proc) }
 
 // applyMsg applies one Cmap message to proc's Pmap and ATC.
 func (cm *Cmap) applyMsg(proc int, m cmapMsg) {
@@ -248,7 +250,7 @@ func (cm *Cmap) applyMsg(proc int, m cmapMsg) {
 // sets the reference-mask bit.
 func (cm *Cmap) installTranslation(proc int, e *CmapEntry, c Copy, rights Rights) {
 	cm.pmaps[proc][e.vpn] = pmapEntry{copy: c, rights: rights}
-	e.refMask |= 1 << uint(proc)
+	e.refMask.Add(proc)
 	cm.sys.atcs[proc].install(cm.id, e.vpn, c, rights)
 }
 
@@ -259,7 +261,7 @@ func (cm *Cmap) dropTranslation(proc int, vpn int64) {
 	}
 	delete(cm.pmaps[proc], vpn)
 	if e := cm.entries[vpn]; e != nil {
-		e.refMask &^= 1 << uint(proc)
+		e.refMask.Del(proc)
 	}
 	cm.sys.atcs[proc].invalidate(cm.id, vpn)
 }
@@ -281,9 +283,11 @@ func (cm *Cmap) translation(proc int, vpn int64) (pmapEntry, bool) {
 	return pe, ok
 }
 
-// postMsg queues a Cmap message for the given (inactive) targets.
-func (cm *Cmap) postMsg(vpn int64, restrict bool, targets uint64) {
-	if targets == 0 {
+// postMsg queues a Cmap message for the given (inactive) targets. The
+// message takes ownership of the target set (callers build it fresh per
+// shootdown).
+func (cm *Cmap) postMsg(vpn int64, restrict bool, targets procset.Set) {
+	if targets.Empty() {
 		return
 	}
 	cm.msgs = append(cm.msgs, cmapMsg{vpn: vpn, restrict: restrict, targets: targets})

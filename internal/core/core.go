@@ -105,9 +105,12 @@ func (e *ErrUnmapped) Error() string {
 // a stress harness can report the violation (with the page's identity
 // and directory state) instead of the process dying on a panic.
 type ErrInvariant struct {
-	Page    int64  // coherent page id
-	State   State  // protocol state at detection time
-	DirMask uint64 // directory bitmask at detection time
+	Page  int64 // coherent page id
+	State State // protocol state at detection time
+	// DirMask is the directory bitmask at detection time, restricted to
+	// modules 0..63 (on machines with more nodes it is the truncation of
+	// the directory set's low word).
+	DirMask uint64
 	Detail  string // which invariant broke, and how
 }
 
@@ -123,7 +126,7 @@ func invariantErr(cp *Cpage, format string, args ...any) error {
 	return &ErrInvariant{
 		Page:    cp.id,
 		State:   cp.state,
-		DirMask: cp.dirMask,
+		DirMask: cp.dirMask.Lo(),
 		Detail:  fmt.Sprintf(format, args...),
 	}
 }

@@ -115,8 +115,8 @@ func TestFirstWriteMaterializesModified(t *testing.T) {
 	if cp.State() != Modified {
 		t.Errorf("state = %v, want modified", cp.State())
 	}
-	if cp.writers != 1<<5 {
-		t.Errorf("writers = %b, want bit 5", cp.writers)
+	if cp.writers.Count() != 1 || !cp.writers.Has(5) {
+		t.Errorf("writers = %b, want exactly proc 5", cp.writers.Lo())
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"platinum/internal/procset"
 	"platinum/internal/sim"
 )
 
@@ -87,13 +88,13 @@ type Cpage struct {
 	labelIdx  int
 
 	state   State
-	dirMask uint64 // bit per module holding a copy
-	copies  []Copy // the copies themselves (directory list)
+	dirMask procset.Set // modules holding a copy
+	copies  []Copy      // the copies themselves (directory list)
 
 	// writers is the set of processors holding a write mapping. The
 	// page is Modified iff state == Modified; writers lets downgrades
 	// target exactly the processors with write access.
-	writers uint64
+	writers procset.Set
 
 	lastInval   sim.Time // time of most recent protocol invalidation
 	everInval   bool
@@ -152,7 +153,7 @@ func (cp *Cpage) Copies() []Copy { return cp.copies }
 // non-nil error means the directory bitmask and copy list disagree — an
 // invariant violation the caller must propagate, not a "no copy" result.
 func (cp *Cpage) HasCopy(mod int) (frame int, ok bool, err error) {
-	if cp.dirMask&(1<<uint(mod)) == 0 {
+	if !cp.dirMask.Has(mod) {
 		return 0, false, nil
 	}
 	for _, c := range cp.copies {
@@ -166,10 +167,10 @@ func (cp *Cpage) HasCopy(mod int) (frame int, ok bool, err error) {
 // addCopy records a new physical copy in the directory. A duplicate
 // copy on the same module is an invariant violation.
 func (cp *Cpage) addCopy(c Copy) error {
-	if cp.dirMask&(1<<uint(c.Module)) != 0 {
+	if cp.dirMask.Has(c.Module) {
 		return invariantErr(cp, "already has a copy on module %d", c.Module)
 	}
-	cp.dirMask |= 1 << uint(c.Module)
+	cp.dirMask.Add(c.Module)
 	cp.copies = append(cp.copies, c)
 	return nil
 }
@@ -180,7 +181,7 @@ func (cp *Cpage) removeCopy(mod int) (Copy, error) {
 	for i, c := range cp.copies {
 		if c.Module == mod {
 			cp.copies = append(cp.copies[:i], cp.copies[i+1:]...)
-			cp.dirMask &^= 1 << uint(mod)
+			cp.dirMask.Del(mod)
 			return c, nil
 		}
 	}
@@ -208,13 +209,17 @@ func (s *System) NewCpage() *Cpage {
 }
 
 // recycle returns a pooled Cpage to its zero state, keeping the copies
-// and mappers backing arrays for reuse.
+// and mappers backing arrays — and the directory/writer sets' overflow
+// words on >64-node machines — for reuse.
 func (cp *Cpage) recycle() {
 	copies, mappers := cp.copies[:0], cp.mappers[:0]
 	for i := range cp.mappers {
 		cp.mappers[i] = nil
 	}
-	*cp = Cpage{copies: copies, mappers: mappers}
+	dir, wr := cp.dirMask, cp.writers
+	dir.Clear()
+	wr.Clear()
+	*cp = Cpage{copies: copies, mappers: mappers, dirMask: dir, writers: wr}
 }
 
 // Cpages returns all coherent pages, for instrumentation.

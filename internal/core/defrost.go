@@ -44,7 +44,7 @@ func (s *System) DefrostSweep(t *sim.Thread, proc int) int {
 		s.spanThaw(cp, proc, now+delay, d)
 		delay += d
 		cp.frozen = false
-		cp.writers = 0
+		cp.writers.Clear()
 		if len(cp.copies) == 1 {
 			cp.state = Present1
 		}
@@ -103,7 +103,7 @@ func (s *System) DefrostDue(t *sim.Thread, proc int, minAge sim.Time) (thawed in
 		s.spanThaw(cp, proc, now+delay, d)
 		delay += d
 		cp.frozen = false
-		cp.writers = 0
+		cp.writers.Clear()
 		if len(cp.copies) == 1 {
 			cp.state = Present1
 		}

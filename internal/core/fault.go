@@ -142,7 +142,7 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	if err != nil {
 		s.spanAbort(now, span.Span{ID: rootID, Kind: span.KindFault,
 			Proc: proc, Track: t.ID(), Page: cp.id, Cause: sim.CauseFault,
-			State: cp.state.String(), DirMask: cp.dirMask, Note: note + ": " + err.Error()})
+			State: cp.state.String(), DirMask: cp.dirMask.Lo(), Note: note + ": " + err.Error()})
 		return Copy{}, err
 	}
 	// The handler releases the Cpage lock before a replication's block
@@ -177,7 +177,7 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	s.rec.Record(span.Span{ID: rootID, Kind: span.KindFault, Start: now, End: cur,
 		Proc: proc, Track: t.ID(), Page: cp.id, Cause: sim.CauseFault,
 		Self:  total - s.fc.queue - s.fc.shoot - s.fc.xfer - s.fc.ack - s.fc.stall - s.fcSpanned,
-		State: cp.state.String(), DirMask: cp.dirMask, Note: note})
+		State: cp.state.String(), DirMask: cp.dirMask.Lo(), Note: note})
 	s.spanFlush()
 	t.Advance(total)
 	return c, nil
@@ -282,6 +282,23 @@ func (s *System) freeCopy(cp *Cpage, mod int, cur sim.Time) (sim.Time, error) {
 // materialize zero-fills an Empty page, preferring a local frame and
 // falling back to any module with space.
 func (s *System) materialize(cp *Cpage, vpn int64, proc int, cur sim.Time) (Copy, sim.Time, error) {
+	if s.machine.Generalized() {
+		// Distance-aware placement: nearest module first, faster tier
+		// breaking ties (mach.PlaceOrder). On the uniform machine the
+		// loop below produces the identical order without the table.
+		for _, mod32 := range s.machine.PlaceOrder(proc) {
+			mod := int(mod32)
+			if fr, nc, ok := s.allocFrame(cp, mod, cur); ok {
+				c := Copy{Module: mod, Frame: fr}
+				if err := cp.addCopy(c); err != nil {
+					s.mem.Module(mod).Free(fr)
+					return Copy{}, cur, err
+				}
+				return c, nc, nil
+			}
+		}
+		return Copy{}, cur, &ErrNoMemory{VPN: vpn}
+	}
 	// Try the local module first, then the rest in index order — the
 	// same order the old explicit order slice produced, without
 	// building it.
@@ -324,7 +341,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 		}
 		c := Copy{Module: proc, Frame: fr}
 		rights := Read
-		if cp.state == Modified && cp.writers&(1<<uint(proc)) != 0 {
+		if cp.state == Modified && cp.writers.Has(proc) {
 			rights = Read | Write
 		}
 		cm.installTranslation(proc, e, c, rights)
@@ -364,7 +381,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 				s.roundRecord(cur, d, cp, proc, "restrict")
 				cur += d
 				cp.state = Present1
-				cp.writers = 0
+				cp.writers.Clear()
 			}
 			src := s.chooseSource(cp)
 			dst := Copy{Module: proc, Frame: fr}
@@ -404,7 +421,7 @@ func (s *System) handleRead(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Time
 	if len(cp.copies) == 1 && e.rights.Allows(Write) && (dec.Freeze || cp.state == Modified) {
 		rights = Read | Write
 		cp.state = Modified
-		cp.writers |= 1 << uint(proc)
+		cp.writers.Add(proc)
 	}
 	if dec.Freeze && len(cp.copies) == 1 {
 		s.freeze(cp, now)
@@ -426,7 +443,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 			return Copy{}, cur, err
 		}
 		cp.state = Modified
-		cp.writers = 1 << uint(proc)
+		cp.writers.AssignOne(proc)
 		cm.installTranslation(proc, e, c, Read|Write)
 		s.spanMapUpdate(cp, proc, cur)
 		return c, cur + s.cfg.MapInstall, nil
@@ -452,7 +469,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 			return Copy{}, cur, err
 		}
 		cp.state = Modified
-		cp.writers |= 1 << uint(proc)
+		cp.writers.Add(proc)
 		cm.installTranslation(proc, e, local, Read|Write)
 		s.spanMapUpdate(cp, proc, cur)
 		return local, cur + s.cfg.MapInstall, nil
@@ -487,7 +504,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 				return Copy{}, cur, err
 			}
 			cp.state = Modified
-			cp.writers = 1 << uint(proc)
+			cp.writers.AssignOne(proc)
 			cp.Stats.Migrations++
 			s.trace(cur, EvMigration, proc, cp)
 			if cp.frozen {
@@ -509,7 +526,7 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 		return Copy{}, cur, err
 	}
 	cp.state = Modified
-	cp.writers |= 1 << uint(proc)
+	cp.writers.Add(proc)
 	if dec.Freeze {
 		s.freeze(cp, now)
 	}

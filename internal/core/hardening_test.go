@@ -310,7 +310,8 @@ func TestDirectoryDesyncReturnsErrInvariant(t *testing.T) {
 		// Corrupt the directory: move a copy record to a module that
 		// holds nothing.
 		cp.copies[1].Module = 3
-		cp.dirMask = 1<<0 | 1<<3
+		cp.dirMask.Del(1)
+		cp.dirMask.Add(3)
 		_, err := fx.s.Touch(th, 3, fx.cm, 0, true)
 		var inv *ErrInvariant
 		if !errors.As(err, &inv) {

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"math/bits"
-)
+import "fmt"
 
 // Validate checks the coherent memory system's structural invariants and
 // returns the first violation found. It is intended for tests and
@@ -57,14 +54,14 @@ func (s *System) validateCpage(cp *Cpage) error {
 	if cp.frozen && n != 1 {
 		return fmt.Errorf("cpage %d: frozen with %d copies", cp.id, n)
 	}
-	if (cp.writers != 0) != (cp.state == Modified) {
-		return fmt.Errorf("cpage %d: writers=%b but state=%v", cp.id, cp.writers, cp.state)
+	if !cp.writers.Empty() != (cp.state == Modified) {
+		return fmt.Errorf("cpage %d: %d writers but state=%v", cp.id, cp.writers.Count(), cp.state)
 	}
-	if bits.OnesCount64(cp.dirMask) != n {
-		return fmt.Errorf("cpage %d: dirMask %b disagrees with %d copies", cp.id, cp.dirMask, n)
+	if cp.dirMask.Count() != n {
+		return fmt.Errorf("cpage %d: directory set (%d modules) disagrees with %d copies", cp.id, cp.dirMask.Count(), n)
 	}
 	for _, c := range cp.copies {
-		if cp.dirMask&(1<<uint(c.Module)) == 0 {
+		if !cp.dirMask.Has(c.Module) {
 			return fmt.Errorf("cpage %d: copy on module %d missing from dirMask", cp.id, c.Module)
 		}
 		owner, ok := s.mem.Module(c.Module).Owner(c.Frame)
@@ -80,7 +77,7 @@ func (s *System) validateCmap(cm *Cmap) error {
 	for vpn, e := range cm.entries {
 		for proc := 0; proc < s.machine.Nodes(); proc++ {
 			pe, ok := cm.translation(proc, vpn)
-			hasBit := e.refMask&(1<<uint(proc)) != 0
+			hasBit := e.refMask.Has(proc)
 			if ok != hasBit {
 				return fmt.Errorf("cmap %d vpn %d: refMask bit %v but translation %v (proc %d)",
 					cm.id, vpn, hasBit, ok, proc)

@@ -1,6 +1,9 @@
 package core
 
-import "platinum/internal/sim"
+import (
+	"platinum/internal/procset"
+	"platinum/internal/sim"
+)
 
 // The PLATINUM shootdown mechanism (§3.1). Because every processor has
 // a private Pmap per address space, a mapping change must reach every
@@ -37,13 +40,13 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 	restrict bool, prior int, affected func(proc int, pe pmapEntry) bool) (delay sim.Time, interrupted int, others bool) {
 
 	cm := e.cmap
-	if e.refMask == 0 {
+	if e.refMask.Empty() {
 		return 0, 0, false
 	}
-	var queued uint64
+	var queued procset.Set
 	posted := false
 	for proc := 0; proc < s.machine.Nodes(); proc++ {
-		if e.refMask&(1<<uint(proc)) == 0 {
+		if !e.refMask.Has(proc) {
 			continue
 		}
 		pe, ok := cm.translation(proc, e.vpn)
@@ -68,7 +71,9 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			if prior+interrupted == 0 {
 				step = s.cfg.ShootdownSync
 			} else {
-				step = s.mcfg.InterruptDispatch
+				// Distance-scaled on generalized topologies; exactly
+				// InterruptDispatch on the uniform machine.
+				step = s.machine.InterruptDispatchTo(initiator, proc)
 			}
 			delay += step
 			var ackd sim.Time
@@ -93,7 +98,7 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 				cm.dropTranslation(proc, e.vpn)
 			}
 		} else {
-			queued |= 1 << uint(proc)
+			queued.Add(proc)
 		}
 	}
 	cm.postMsg(e.vpn, restrict, queued)

@@ -80,7 +80,7 @@ func (s *System) spanAbort(at sim.Time, root span.Span) {
 // span shows what was dismantled.
 func (s *System) spanThaw(cp *Cpage, proc int, start, d sim.Time) {
 	thawID := s.spanChild(span.Span{Kind: span.KindThaw, Start: start, End: start + d,
-		Proc: proc, Page: cp.id, State: cp.state.String(), DirMask: cp.dirMask})
+		Proc: proc, Page: cp.id, State: cp.state.String(), DirMask: cp.dirMask.Lo()})
 	prev := s.spanParent
 	s.spanParent = thawID
 	s.roundRecord(start, d, cp, proc, "thaw")
@@ -122,7 +122,7 @@ func (s *System) roundRecord(start, d sim.Time, cp *Cpage, initiator int, note s
 		Kind: span.KindShootdown, Start: start, End: start + d,
 		Proc: initiator, Page: cp.id,
 		Cause: sim.CauseShootdown, Self: d - tcost - tack,
-		State: cp.state.String(), DirMask: cp.dirMask, Note: note,
+		State: cp.state.String(), DirMask: cp.dirMask.Lo(), Note: note,
 	})
 	cur := start + (d - tcost - tack)
 	for _, tg := range s.sdTargets {

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"platinum/internal/mach"
 )
 
 // Options tune experiment scale.
@@ -28,6 +30,11 @@ type Options struct {
 	// order, making the output identical at any setting. Zero or
 	// negative means runtime.NumCPU().
 	Parallelism int
+
+	// Topology is a user-supplied machine description for experiments
+	// that accept one (topo-custom; see platinum-bench -topology and
+	// TOPOLOGY.md). Nil for the built-in machines.
+	Topology *mach.Topology
 }
 
 // parallelism resolves the effective worker count.

@@ -47,7 +47,8 @@ func TestRegistry(t *testing.T) {
 		"colocate-options", "fig1", "fig5", "fig6", "freeze-anecdote",
 		"gauss-compare", "machine-generations", "page-size-sweep",
 		"policy-ablation", "repl-source", "scaling", "t1-sweep",
-		"table1", "table1-empirical",
+		"table1", "table1-empirical", "topo-custom", "topo-nodes",
+		"topo-skew", "topo-tiers",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -27,6 +27,14 @@ type Config struct {
 	Machine mach.Config
 	Core    core.Config
 
+	// Topology, when non-nil, overrides Machine with a declarative
+	// machine description (distance matrix, switch contention domains,
+	// memory tiers — see mach.Topology and TOPOLOGY.md). Machine is
+	// ignored in that case; the topology's Base supplies the cost
+	// constants. The topology is captured by reference and must not be
+	// mutated after Boot.
+	Topology *mach.Topology
+
 	// SpinPoll is the initial interval between polls in SpinWait;
 	// unsuccessful polls back off exponentially up to SpinPollMax.
 	SpinPoll    sim.Time
@@ -80,7 +88,13 @@ type Kernel struct {
 // memory manager, and starts the defrost daemon.
 func Boot(cfg Config) (*Kernel, error) {
 	e := sim.NewEngine()
-	m, err := mach.New(e, cfg.Machine)
+	var m *mach.Machine
+	var err error
+	if cfg.Topology != nil {
+		m, err = mach.FromTopology(e, cfg.Topology)
+	} else {
+		m, err = mach.New(e, cfg.Machine)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +168,10 @@ func (k *Kernel) Engine() *sim.Engine { return k.engine }
 
 // Machine returns the simulated hardware.
 func (k *Kernel) Machine() *mach.Machine { return k.machine }
+
+// Topology returns the machine's declarative topology (a uniform
+// wrapper when the kernel was booted from bare cost constants).
+func (k *Kernel) Topology() *mach.Topology { return k.machine.Topology() }
 
 // System returns the coherent memory system.
 func (k *Kernel) System() *core.System { return k.sys }

@@ -141,12 +141,21 @@ func (c Config) Validate() error {
 // PageBytes returns the page size in bytes (4 bytes per word).
 func (c Config) PageBytes() int { return c.PageWords * 4 }
 
-// Machine is the simulated hardware: configuration plus per-module
-// serialization and statistics.
+// Machine is the simulated hardware: topology plus per-module (and
+// per-switch-domain) serialization and statistics.
 type Machine struct {
 	cfg     Config
+	topo    *Topology
+	general bool // any non-uniform topology feature active (see Topology.generalized)
 	engine  *sim.Engine
 	modules []Module
+
+	// switchBusy[l][d] is the busy-until clock of domain d's switch at
+	// level l; empty when the topology has no contended switch levels.
+	switchBusy [][]sim.Time
+
+	// placeOrder caches PlaceOrder's per-node module orderings.
+	placeOrder [][]int32
 
 	// accessFault, when set, injects a transient busy/retry delay into
 	// word accesses (see SetAccessFault). nil in normal operation.
@@ -171,20 +180,50 @@ type Module struct {
 	BusyTime  sim.Time // total occupancy
 }
 
-// New constructs a machine on the given simulation engine.
+// New constructs a machine on the given simulation engine from bare
+// cost constants: the uniform topology those constants have always
+// described. Machines with distance matrices, switch levels or memory
+// tiers are built with FromTopology.
 func New(e *sim.Engine, cfg Config) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return &Machine{
-		cfg:     cfg,
-		engine:  e,
-		modules: make([]Module, cfg.Nodes),
-	}, nil
+	return FromTopology(e, UniformTopology(cfg))
 }
 
-// Config returns the machine's configuration.
+// FromTopology constructs a machine from a declarative topology (see
+// Topology and TOPOLOGY.md). The topology is validated and captured by
+// reference; it must not be mutated afterwards.
+func FromTopology(e *sim.Engine, t *Topology) (*Machine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     t.Base,
+		topo:    t,
+		general: t.generalized(),
+		engine:  e,
+		modules: make([]Module, t.Base.Nodes),
+	}
+	for _, l := range t.Levels {
+		if l.PerWord > 0 {
+			m.switchBusy = append(m.switchBusy, make([]sim.Time, l.domains()))
+		} else {
+			m.switchBusy = append(m.switchBusy, nil) // uncontended level
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine's base cost configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine's declarative topology (a uniform
+// wrapper around Config for machines built with New). Do not modify.
+func (m *Machine) Topology() *Topology { return m.topo }
+
+// Generalized reports whether any non-uniform topology feature
+// (distance matrix, contended switch level, memory tier) is active.
+// When false the machine is on the historical uniform fast path and
+// every cost is exactly the base Config's.
+func (m *Machine) Generalized() bool { return m.general }
 
 // Engine returns the simulation engine the machine runs on.
 func (m *Machine) Engine() *sim.Engine { return m.engine }
@@ -203,6 +242,11 @@ func (m *Machine) Reset() {
 	for i := range m.modules {
 		m.modules[i] = Module{}
 	}
+	for _, level := range m.switchBusy {
+		for d := range level {
+			level[d] = 0
+		}
+	}
 	m.accessFault = nil
 	m.rec = nil
 }
@@ -211,7 +255,11 @@ func (m *Machine) Reset() {
 func (m *Machine) BusyUntil(mod int) sim.Time { return m.modules[mod].busyUntil }
 
 // wordCost returns the latency and module occupancy of n word accesses
-// from processor proc to module mod.
+// from processor proc to module mod. On uniform machines it is a pure
+// local/remote split; on generalized topologies the latency is scaled
+// by the pair's distance multiplier and the target module's tier, and
+// the occupancy by the tier alone (a slow module is busy longer, but
+// switch distance does not hold the module).
 func (m *Machine) wordCost(proc, mod, n int, write bool) (lat, occ sim.Time) {
 	c := &m.cfg
 	if proc == mod {
@@ -229,7 +277,66 @@ func (m *Machine) wordCost(proc, mod, n int, write bool) (lat, occ sim.Time) {
 		}
 		occ = c.RemoteOccupancy
 	}
+	if m.general {
+		lat = scaleMul(lat, m.topo.DistanceMul(proc, mod))
+		tier := m.topo.TierOf(mod)
+		var tm int
+		if write {
+			tm = tier.writeMul()
+		} else {
+			tm = tier.readMul()
+		}
+		lat = scaleMul(lat, tm)
+		occ = scaleMul(occ, tm)
+	}
 	return lat * sim.Time(n), occ * sim.Time(n)
+}
+
+// switchStart folds into start the busy-until clocks of every domain
+// switch a transfer between proc and mod crosses: at each contended
+// level where the endpoints are in different domains, the transfer
+// passes through both endpoint domains' switches.
+func (m *Machine) switchStart(proc, mod int, start sim.Time) sim.Time {
+	for li, busy := range m.switchBusy {
+		if busy == nil {
+			continue
+		}
+		dom := m.topo.Levels[li].Domain
+		dp, dm := dom[proc], dom[mod]
+		if dp == dm {
+			continue
+		}
+		if busy[dp] > start {
+			start = busy[dp]
+		}
+		if busy[dm] > start {
+			start = busy[dm]
+		}
+	}
+	return start
+}
+
+// switchOccupy marks every crossed domain switch busy for words words
+// starting at start. Switch levels model contention only; the latency
+// of the longer path is the distance matrix's concern.
+func (m *Machine) switchOccupy(proc, mod, words int, start sim.Time) {
+	for li, busy := range m.switchBusy {
+		if busy == nil {
+			continue
+		}
+		l := &m.topo.Levels[li]
+		dp, dm := l.Domain[proc], l.Domain[mod]
+		if dp == dm {
+			continue
+		}
+		until := start + l.PerWord*sim.Time(words)
+		if busy[dp] < until {
+			busy[dp] = until
+		}
+		if busy[dm] < until {
+			busy[dm] = until
+		}
+	}
 }
 
 // SetAccessFault installs a fault-injection hook consulted on every
@@ -265,6 +372,10 @@ func (m *Machine) Access(t *sim.Thread, proc, mod, n int, write bool) sim.Time {
 	start := t.Now()
 	if mm.busyUntil > start {
 		start = mm.busyUntil
+	}
+	if m.switchBusy != nil && proc != mod {
+		start = m.switchStart(proc, mod, start)
+		m.switchOccupy(proc, mod, n, start)
 	}
 	queue := start - t.Now()
 	mm.busyUntil = start + occ + retry
@@ -306,6 +417,10 @@ func (m *Machine) AccessFree(now sim.Time, proc, mod, n int, write bool) sim.Tim
 	if mm.busyUntil > start {
 		start = mm.busyUntil
 	}
+	if m.switchBusy != nil && proc != mod {
+		start = m.switchStart(proc, mod, start)
+		m.switchOccupy(proc, mod, n, start)
+	}
 	queue := start - now
 	mm.busyUntil = start + occ
 	mm.Accesses++
@@ -341,8 +456,28 @@ func (m *Machine) blockTransferAt(t *sim.Thread, now sim.Time, src, dst, words i
 	if src != dst && md.busyUntil > start {
 		start = md.busyUntil
 	}
+	if m.switchBusy != nil && src != dst {
+		start = m.switchStart(src, dst, start)
+		m.switchOccupy(src, dst, words, start)
+	}
 	queue := start - now
-	dur := m.cfg.BlockCopyPerWord * sim.Time(words)
+	perWord := m.cfg.BlockCopyPerWord
+	if m.general {
+		// The transfer engine streams through the switch at the pair's
+		// distance and is rate-limited by the slower memory side: the
+		// source tier reading the page out (a dirty page's writeback is
+		// read at its owning tier's rate) and the destination tier
+		// absorbing the writes.
+		if src != dst {
+			perWord = scaleMul(perWord, m.topo.DistanceMul(src, dst))
+		}
+		mul := m.topo.TierOf(src).readMul()
+		if wm := m.topo.TierOf(dst).writeMul(); wm > mul {
+			mul = wm
+		}
+		perWord = scaleMul(perWord, mul)
+	}
+	dur := perWord * sim.Time(words)
 	occ := dur
 	if f := m.cfg.BlockXferOccupancy; f > 0 && f < 1000 {
 		occ = dur * sim.Time(f) / 1000

@@ -74,6 +74,15 @@ type (
 	Report = core.Report
 	// MachineConfig holds the hardware cost parameters.
 	MachineConfig = mach.Config
+	// Topology is the declarative machine description: node count,
+	// distance matrix, switch contention domains and memory tiers.
+	// See TOPOLOGY.md for the on-disk format.
+	Topology = mach.Topology
+	// MemTier is one node's memory technology (per-mille read/write
+	// multipliers over the base module latencies).
+	MemTier = mach.MemTier
+	// SwitchLevel is one level of switch contention domains.
+	SwitchLevel = mach.SwitchLevel
 	// CoreConfig holds the coherent memory system parameters.
 	CoreConfig = core.Config
 	// Event is one recorded protocol event (see Kernel.EnableTrace).
@@ -144,6 +153,22 @@ func DefaultConfig() Config { return kernel.DefaultConfig() }
 
 // Boot builds the machine and kernel and starts the defrost daemon.
 func Boot(cfg Config) (*Kernel, error) { return kernel.Boot(cfg) }
+
+// ButterflyPlus returns the paper's 16-node Butterfly Plus as a
+// built-in topology; it reproduces every table of the historical
+// Config path byte-identically.
+func ButterflyPlus() *Topology { return mach.ButterflyPlus() }
+
+// Butterfly1 returns the first-generation BBN Butterfly as a built-in
+// topology.
+func Butterfly1() *Topology { return mach.Butterfly1() }
+
+// LoadTopology reads and validates a topology JSON file (the format
+// specified in TOPOLOGY.md).
+func LoadTopology(path string) (*Topology, error) { return mach.LoadTopology(path) }
+
+// ParseTopology parses and validates topology JSON bytes.
+func ParseTopology(data []byte) (*Topology, error) { return mach.ParseTopology(data) }
 
 // NewPlatinumPolicy returns the paper's interim policy: replicate or
 // migrate unless the page was invalidated within the last t1; freeze

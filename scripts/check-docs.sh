@@ -53,6 +53,14 @@ for name in $(go run ./cmd/platinum-vet -list | cut -f1); do
 	fi
 done
 
+# 5. TOPOLOGY.md's embedded JSON examples and the shipped example files
+#    must parse and validate with the real loader (mach.ParseTopology),
+#    so the normative spec cannot drift from the parser.
+if ! go run ./scripts/topocheck TOPOLOGY.md examples/topologies/*.json; then
+	echo "TOPOLOGY.md: embedded examples failed loader validation"
+	fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
 	echo "check-docs: FAILED"
 	exit 1

@@ -1,0 +1,73 @@
+// Command topocheck validates topology descriptions with the real
+// loader (mach.ParseTopology), so CI can prove that TOPOLOGY.md and the
+// shipped example files describe machines the simulator accepts.
+//
+// Arguments ending in .md are scanned for fenced ```json blocks and
+// every block is validated (TOPOLOGY.md promises each one is a complete
+// topology document); any other argument is validated as a topology
+// JSON file. Exits nonzero on the first failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"platinum/internal/mach"
+)
+
+// jsonBlocks extracts the contents of every ```json fenced code block.
+func jsonBlocks(md string) []string {
+	var blocks []string
+	for {
+		start := strings.Index(md, "```json\n")
+		if start < 0 {
+			return blocks
+		}
+		md = md[start+len("```json\n"):]
+		end := strings.Index(md, "```")
+		if end < 0 {
+			return blocks
+		}
+		blocks = append(blocks, md[:end])
+		md = md[end+3:]
+	}
+}
+
+func main() {
+	fail := false
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topocheck: %v\n", err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(path, ".md") {
+			blocks := jsonBlocks(string(raw))
+			if len(blocks) == 0 {
+				fmt.Fprintf(os.Stderr, "topocheck: %s: no ```json blocks found\n", path)
+				fail = true
+				continue
+			}
+			for i, b := range blocks {
+				if topo, err := mach.ParseTopology([]byte(b)); err != nil {
+					fmt.Fprintf(os.Stderr, "topocheck: %s: json block %d: %v\n", path, i+1, err)
+					fail = true
+				} else {
+					fmt.Printf("topocheck: %s: block %d ok (%q, %d nodes)\n", path, i+1, topo.Name, topo.Nodes())
+				}
+			}
+			continue
+		}
+		topo, err := mach.ParseTopology(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topocheck: %s: %v\n", path, err)
+			fail = true
+			continue
+		}
+		fmt.Printf("topocheck: %s ok (%q, %d nodes)\n", path, topo.Name, topo.Nodes())
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
