@@ -28,4 +28,23 @@ func good(t *sim.Thread, d sim.Time, p sim.Cause) {
 	t.Charge(c, d) // every assignment to c is a declared constant
 }
 
+// goodPT exercises the page-table variant causes: declared in
+// internal/sim like any other, so direct charges and variable flows
+// over them are accepted.
+func goodPT(t *sim.Thread, d sim.Time, replicate bool) {
+	t.Charge(sim.CausePmapWalk, d)
+	t.Attribute(sim.CauseBatchFlush, d)
+	c := sim.CausePmapWalk
+	if replicate {
+		c = sim.CausePTReplicate
+	}
+	t.Charge(c, d)
+}
+
+// badPT shows the variant causes do not weaken the rule: deriving one
+// by arithmetic or conversion is still flagged.
+func badPT(t *sim.Thread, d sim.Time) {
+	t.Charge(sim.Cause(4), d) // want `Charge called with a Cause conversion`
+}
+
 func pick() sim.Cause { return sim.CauseFault }

@@ -17,6 +17,9 @@ const (
 	CauseCompute
 	CauseFault
 	CauseRetry
+	CausePmapWalk
+	CausePTReplicate
+	CauseBatchFlush
 	NumCauses
 )
 

@@ -24,8 +24,16 @@ type atc struct {
 	pool    []atcEnt
 	free    int32 // pool free-list head, -1 if exhausted
 
-	ring []atcKey // FIFO of resident keys
+	ring []atcKey // FIFO of install slots; see the dead-slot invariant below
 	head int
+	// dead counts ring slots whose key was invalidated and not yet
+	// reused: the slot stays in place (hardware does not compact its
+	// replacement queue) and simply misses in the table. The invariant
+	// the dead counter protects: a key occupies AT MOST ONE ring slot.
+	// install revives a key's own dead slot in place, and an eviction
+	// that lands on a dead slot costs dead-- instead of a remove — so a
+	// stale slot can never evict a still-resident entry.
+	dead int
 
 	// Most-recently-hit entry, checked before the table. Pure host-side
 	// memoization of a resident entry: it never holds a translation the
@@ -36,8 +44,9 @@ type atc struct {
 	mruOK  bool
 
 	// Statistics.
-	Hits   int64
-	Misses int64
+	Hits      int64
+	Misses    int64
+	Evictions int64 // resident entries displaced by FIFO replacement
 }
 
 type atcKey struct {
@@ -93,9 +102,11 @@ func (a *atc) reset() {
 	a.unlinkAll()
 	a.ring = a.ring[:0]
 	a.head = 0
+	a.dead = 0
 	a.mruOK = false
 	a.Hits = 0
 	a.Misses = 0
+	a.Evictions = 0
 }
 
 // find returns the pool index of k's entry, or -1.
@@ -108,8 +119,9 @@ func (a *atc) find(k atcKey) int32 {
 	return -1
 }
 
-// remove unlinks k's entry and returns it to the free list, if resident.
-func (a *atc) remove(k atcKey) {
+// remove unlinks k's entry and returns it to the free list, reporting
+// whether k was resident.
+func (a *atc) remove(k atcKey) bool {
 	b := k.hash() & a.mask
 	prev := int32(-1)
 	for i := a.buckets[b]; i >= 0; i = a.pool[i].next {
@@ -121,10 +133,11 @@ func (a *atc) remove(k atcKey) {
 			}
 			a.pool[i].next = a.free
 			a.free = i
-			return
+			return true
 		}
 		prev = i
 	}
+	return false
 }
 
 // lookup returns the cached translation for (cmap, vpn), if resident.
@@ -155,14 +168,25 @@ func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 		}
 		return
 	}
-	if len(a.ring) < a.cap {
+	if a.dead > 0 && a.reviveDead(k) {
+		// k's own invalidated slot is still in the ring: revive it in
+		// place (keeping its original queue position) instead of
+		// appending a duplicate whose later eviction would remove the
+		// then-resident entry.
+	} else if len(a.ring) < a.cap {
 		a.ring = append(a.ring, k)
 	} else {
 		// Evict the slot at head; ring is full so head wraps FIFO-style.
+		// A dead slot at head is free to reuse — its key is no longer
+		// resident, so there is nothing to evict.
 		old := a.ring[a.head]
-		a.remove(old)
-		if a.mruOK && a.mruKey == old {
-			a.mruOK = false
+		if a.remove(old) {
+			a.Evictions++
+			if a.mruOK && a.mruKey == old {
+				a.mruOK = false
+			}
+		} else {
+			a.dead--
 		}
 		a.ring[a.head] = k
 		a.head = (a.head + 1) % a.cap
@@ -176,14 +200,30 @@ func (a *atc) install(cmap int, vpn int64, c Copy, rights Rights) {
 	a.buckets[b] = i
 }
 
+// reviveDead scans the ring for k's own dead slot and claims it,
+// reporting success. Only a dead slot can hold k here: install already
+// checked that k is not resident, and the dead-slot invariant says k
+// appears at most once in the ring.
+func (a *atc) reviveDead(k atcKey) bool {
+	for i := range a.ring {
+		if a.ring[i] == k {
+			a.dead--
+			return true
+		}
+	}
+	return false
+}
+
 // invalidate drops the cached translation, if resident. The ring slot is
-// left in place and simply misses in the table until reused.
+// left in place — dead — and simply misses in the table until reused.
 func (a *atc) invalidate(cmap int, vpn int64) {
 	k := atcKey{cmap, vpn}
 	if a.mruOK && a.mruKey == k {
 		a.mruOK = false
 	}
-	a.remove(k)
+	if a.remove(k) {
+		a.dead++
+	}
 }
 
 // restrict downgrades the cached translation to read-only, if resident.
@@ -199,16 +239,17 @@ func (a *atc) restrict(cmap int, vpn int64) {
 
 // ATCStats is a snapshot of one processor's ATC counters.
 type ATCStats struct {
-	Proc   int
-	Hits   int64
-	Misses int64
+	Proc      int
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
 
-// ATCStats returns hit/miss counters for every processor's ATC.
+// ATCStats returns hit/miss/eviction counters for every processor's ATC.
 func (s *System) ATCStats() []ATCStats {
 	out := make([]ATCStats, len(s.atcs))
 	for i, a := range s.atcs {
-		out[i] = ATCStats{Proc: i, Hits: a.Hits, Misses: a.Misses}
+		out[i] = ATCStats{Proc: i, Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions}
 	}
 	return out
 }

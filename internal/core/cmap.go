@@ -53,6 +53,12 @@ type Cmap struct {
 	active  procset.Set // processors with this address space active
 	actives []int       // activation refcount per processor
 	msgs    []cmapMsg
+
+	// ptHome is the node holding this address space's page table under
+	// core.PTHome (see pagetable.go): round-robin by Cmap id, so it is
+	// deterministic and survives platform pooling. Unused (zero) in
+	// other modes.
+	ptHome int
 }
 
 // NewCmap creates the coherent-map state for a new address space.
@@ -77,6 +83,7 @@ func (s *System) NewCmap() *Cmap {
 		}
 	}
 	cm.id = len(s.cmaps)
+	cm.ptHome = cm.id % s.machine.Nodes()
 	s.cmaps = append(s.cmaps, cm)
 	return cm
 }
@@ -217,6 +224,11 @@ func (cm *Cmap) Activate(t *sim.Thread, proc int) {
 		o.End(now + cost)
 		t.Charge(sim.CauseShootdown, cost)
 	}
+	if cm.sys.batchOn() {
+		// The batched variant's lazy half: apply proc's coalesced
+		// deferred invalidations (across all spaces) before running.
+		cm.sys.batchActivate(t, proc)
+	}
 }
 
 // Deactivate undoes one Activate on proc. Deactivating a space that is
@@ -252,6 +264,9 @@ func (cm *Cmap) installTranslation(proc int, e *CmapEntry, c Copy, rights Rights
 	cm.pmaps[proc][e.vpn] = pmapEntry{copy: c, rights: rights}
 	e.refMask.Add(proc)
 	cm.sys.atcs[proc].install(cm.id, e.vpn, c, rights)
+	// Under PTReplicate the new entry is written through to every other
+	// replica home; the fault handler drains the accumulated cost.
+	cm.sys.ptReplicaInstall(proc)
 }
 
 // dropTranslation removes proc's translation for vpn, if any.

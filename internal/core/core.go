@@ -217,6 +217,11 @@ type Config struct {
 	// message when it activates an address space.
 	MsgApply sim.Time
 
+	// PageTables selects the page-table placement and invalidation
+	// variants (see PTConfig). The zero value is the paper's model:
+	// free walks, eager shootdown.
+	PageTables PTConfig
+
 	// Spans, when non-nil, is the causal span recorder to use. Left
 	// nil, NewSystem creates one with the default bounded flight ring —
 	// recording is always on (it is pure bookkeeping and cannot perturb
@@ -279,6 +284,19 @@ type System struct {
 	inj    FaultInjector
 	injAck sim.Time
 
+	// Page-table variant state (see pagetable.go): per-proc cached
+	// replica write-through cost and the pending balance the fault
+	// handler drains; per-target deferred-invalidation counts (and the
+	// count of targets with any pending) for the batched variant, plus
+	// the initiator-side flush cost accumulator charging sites drain;
+	// and the activity counters.
+	ptRepCost  []sim.Time
+	ptRepPend  sim.Time
+	batchPend  []int
+	batchProcs int
+	batchCost  sim.Time
+	ptStats    PTStats
+
 	// Causal span recording scratch (see span.go): the recorder, the
 	// current operation's root span and track, the buffered child
 	// spans, the CauseFault time already covered by child spans, and
@@ -308,6 +326,9 @@ type faultCosts struct {
 	xfer  sim.Time // hardware block transfers (incl. module queueing)
 	ack   sim.Time // injected slow shootdown acknowledgements
 	stall sim.Time // injected block-transfer stalls
+	walk  sim.Time // page-table walk against the table's node (PTConfig)
+	ptrep sim.Time // replica write-through after installs (PTReplicate)
+	batch sim.Time // forced flush of deferred invalidations (BatchShootdown)
 }
 
 // NewSystem builds a coherent memory system on machine m.
@@ -321,6 +342,7 @@ func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = NewPlatinumPolicy(DefaultT1, false)
 	}
+	cfg.PageTables = cfg.PageTables.withDefaults()
 	mem, err := phys.NewMemory(m.Nodes(), cfg.FramesPerModule, m.Config().PageWords)
 	if err != nil {
 		return nil, err
@@ -340,6 +362,9 @@ func NewSystem(m *mach.Machine, cfg Config) (*System, error) {
 	}
 	for i := range s.atcs {
 		s.atcs[i] = newATC(cfg.ATCEntries)
+	}
+	if cfg.PageTables.BatchShootdown {
+		s.batchPend = make([]int, m.Nodes())
 	}
 	return s, nil
 }
@@ -382,6 +407,13 @@ func (s *System) Reset() {
 	s.fc = faultCosts{}
 	s.inj = nil
 	s.injAck = 0
+	s.ptRepPend = 0 // ptRepCost is topology-derived and survives, like placeOrder
+	for i := range s.batchPend {
+		s.batchPend[i] = 0
+	}
+	s.batchProcs = 0
+	s.batchCost = 0
+	s.ptStats = PTStats{}
 	s.rec.Reset()
 	s.spanParent = span.None
 	s.spanTrack = 0

@@ -52,6 +52,10 @@ func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write boo
 		}
 		return pe.copy, nil
 	}
+	// The ATC miss walks the page table: free in the paper's baseline,
+	// a real (charged, module-occupying) memory reference against the
+	// node holding the table under the PTConfig placement modes.
+	walk := s.ptWalk(t.Now()+pen, proc, cm)
 	// Pmap (the ATC reload path).
 	if pe, ok := cm.translation(proc, vpn); ok && pe.rights.Allows(want) {
 		s.atcs[proc].install(cm.id, vpn, pe.copy, pe.rights)
@@ -67,20 +71,28 @@ func (s *System) Resolve(t *sim.Thread, proc int, cm *Cmap, vpn int64, write boo
 			s.rec.Record(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
 				Proc: proc, Track: t.ID(), Page: -1, Cause: sim.CauseShootdown, Self: pen})
 		}
+		if walk > 0 {
+			s.rec.Record(span.Span{Kind: span.KindPmapWalk, Start: now + pen, End: now + pen + walk,
+				Proc: proc, Track: t.ID(), Page: page, Cause: sim.CausePmapWalk, Self: walk})
+		}
 		reload := s.mcfg.ATCReload
-		s.rec.Record(span.Span{Kind: span.KindATCReload, Start: now + pen, End: now + pen + reload,
+		s.rec.Record(span.Span{Kind: span.KindATCReload, Start: now + pen + walk, End: now + pen + walk + reload,
 			Proc: proc, Track: t.ID(), Page: page, Cause: sim.CauseFault, Self: reload})
 		t.Attribute(sim.CauseShootdown, pen)
+		t.Attribute(sim.CausePmapWalk, walk)
 		t.Attribute(sim.CauseFault, reload)
-		t.Advance(pen + reload)
+		t.Advance(pen + walk + reload)
 		return pe.copy, nil
 	}
-	return s.fault(t, proc, cm, vpn, write, pen, apply)
+	return s.fault(t, proc, cm, vpn, write, pen, walk, apply)
 }
 
 // fault is the coherent page fault handler (§3.3). All protocol state
-// transitions (Fig. 4) happen here or in the defrost daemon.
-func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool, pen sim.Time,
+// transitions (Fig. 4) happen here or in the defrost daemon. walk is
+// the already-computed page-table walk delay of the triggering ATC
+// miss (zero in the paper's baseline), folded into the composite
+// charge under CausePmapWalk.
+func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool, pen, walk sim.Time,
 	apply func(words []uint32)) (Copy, error) {
 	e := cm.Lookup(vpn)
 	if e == nil {
@@ -108,10 +120,14 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 		s.spanChild(span.Span{Kind: span.KindIRQPenalty, Start: now, End: now + pen,
 			Proc: proc, Page: cp.id, Cause: sim.CauseShootdown, Self: pen})
 	}
-	cur := now + pen + s.cfg.FaultBase
-	s.spanChild(span.Span{Kind: span.KindDirLookup, Start: now + pen, End: cur,
+	if walk > 0 {
+		s.spanChild(span.Span{Kind: span.KindPmapWalk, Start: now + pen, End: now + pen + walk,
+			Proc: proc, Page: cp.id, Cause: sim.CausePmapWalk, Self: walk})
+	}
+	cur := now + pen + walk + s.cfg.FaultBase
+	s.spanChild(span.Span{Kind: span.KindDirLookup, Start: now + pen + walk, End: cur,
 		Proc: proc, Page: cp.id, Cause: sim.CauseFault, Self: s.cfg.FaultBase})
-	s.fc = faultCosts{shoot: pen}
+	s.fc = faultCosts{shoot: pen, walk: walk}
 
 	// Serialize on the Cpage: concurrent faults on the same page queue,
 	// and the queueing time is the paper's per-Cpage contention measure.
@@ -154,6 +170,16 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 		lockEnd = cur
 	}
 	cp.busyUntil = lockEnd
+	// Under PTReplicate, the handler's map installs accumulated posted
+	// write-through updates to the other replica homes; they complete
+	// after the lock is released (fire-and-forget, but the initiator's
+	// fault is not over until they are issued).
+	if rep := s.drainPTRep(); rep > 0 {
+		s.fc.ptrep += rep
+		s.spanChild(span.Span{Kind: span.KindPTReplicate, Start: cur, End: cur + rep,
+			Proc: proc, Page: cp.id, Cause: sim.CausePTReplicate, Self: rep})
+		cur += rep
+	}
 	if apply != nil {
 		apply(s.mem.Module(c.Module).Words(c.Frame))
 	}
@@ -165,18 +191,23 @@ func (s *System) fault(t *sim.Thread, proc int, cm *Cmap, vpn int64, write bool,
 	// bit-for-bit the same.
 	total := cur - now
 	cp.Stats.FaultTime += total
+	classified := s.fc.queue + s.fc.shoot + s.fc.xfer + s.fc.ack + s.fc.stall +
+		s.fc.walk + s.fc.ptrep + s.fc.batch
 	t.Attribute(sim.CauseQueue, s.fc.queue)
 	t.Attribute(sim.CauseShootdown, s.fc.shoot)
 	t.Attribute(sim.CauseBlockTransfer, s.fc.xfer)
 	t.Attribute(sim.CauseSlowAck, s.fc.ack)
 	t.Attribute(sim.CauseRetry, s.fc.stall)
-	t.Attribute(sim.CauseFault, total-s.fc.queue-s.fc.shoot-s.fc.xfer-s.fc.ack-s.fc.stall)
+	t.Attribute(sim.CausePmapWalk, s.fc.walk)
+	t.Attribute(sim.CausePTReplicate, s.fc.ptrep)
+	t.Attribute(sim.CauseBatchFlush, s.fc.batch)
+	t.Attribute(sim.CauseFault, total-classified)
 	// Root fault span: its Self is the fault-overhead time no child span
 	// carries (handler remainder, e.g. the remote-kernel-data penalty),
 	// so per-cause Self sums stay exactly equal to the Account totals.
 	s.rec.Record(span.Span{ID: rootID, Kind: span.KindFault, Start: now, End: cur,
 		Proc: proc, Track: t.ID(), Page: cp.id, Cause: sim.CauseFault,
-		Self:  total - s.fc.queue - s.fc.shoot - s.fc.xfer - s.fc.ack - s.fc.stall - s.fcSpanned,
+		Self:  total - classified - s.fcSpanned,
 		State: cp.state.String(), DirMask: cp.dirMask.Lo(), Note: note})
 	s.spanFlush()
 	t.Advance(total)
@@ -483,10 +514,18 @@ func (s *System) handleWrite(e *CmapEntry, cp *Cpage, proc int, now, cur sim.Tim
 			// Migrate: every existing translation points at a copy that
 			// is about to disappear, so invalidate them all.
 			s.roundBegin()
-			d, _ := s.shootdownCpage(cp, proc, now, false, true, affectAll)
+			d, n := s.shootdownCpage(cp, proc, now, false, true, affectAll)
+			if s.batchOn() {
+				// Sync point: the copies' frames are about to be freed,
+				// so the deferred invalidations must be flushed first.
+				fd, _ := s.flushBatch(proc, n)
+				d += fd
+			}
 			ack := s.drainInjAck()
-			s.fc.shoot += d - ack
+			bat := s.drainBatchCost()
+			s.fc.shoot += d - ack - bat
 			s.fc.ack += ack
+			s.fc.batch += bat
 			s.roundRecord(cur, d, cp, proc, "migrate")
 			cur += d
 			src := s.chooseSource(cp)
@@ -547,11 +586,18 @@ func (s *System) reclaimOtherCopies(cp *Cpage, initiator int, keep Copy, now, cu
 		return cur, nil
 	}
 	s.roundBegin()
-	d, _ := s.shootdownCpage(cp, initiator, now, false, true,
+	d, n := s.shootdownCpage(cp, initiator, now, false, true,
 		func(_ int, pe pmapEntry) bool { return pe.copy.Module != keep.Module })
+	if s.batchOn() {
+		// Sync point: the other copies' frames are about to be freed.
+		fd, _ := s.flushBatch(initiator, n)
+		d += fd
+	}
 	ack := s.drainInjAck()
-	s.fc.shoot += d - ack
+	bat := s.drainBatchCost()
+	s.fc.shoot += d - ack - bat
 	s.fc.ack += ack
+	s.fc.batch += bat
 	s.roundRecord(cur, d, cp, initiator, "reclaim")
 	cur += d
 	// freeCopy splices the freed copy out of cp.copies in place, so walk

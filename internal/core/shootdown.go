@@ -65,6 +65,21 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			delay += s.cfg.ShootdownPost
 			posted = true
 		}
+		if s.batchOn() {
+			// numaPTE-style lazy variant: apply the Pmap/ATC change now
+			// (the protocol's correctness does not wait) but defer the
+			// target-side invalidation cost, coalescing per target until
+			// it next activates a space (batchActivate) or the initiator
+			// reaches a frame-freeing sync point (flushBatch). Only the
+			// message post is paid here.
+			if restrict {
+				cm.restrictTranslation(proc, e.vpn)
+			} else {
+				cm.dropTranslation(proc, e.vpn)
+			}
+			s.batchDefer(proc)
+			continue
+		}
 		if cm.Active(proc) {
 			// Interrupt the target and apply the change now.
 			var step sim.Time
@@ -90,7 +105,7 @@ func (s *System) shootdownEntryTracked(e *CmapEntry, initiator int, now sim.Time
 			}
 			interrupted++
 			// Per-target scratch for the round's span tree (see span.go).
-			s.sdTargets = append(s.sdTargets, sdTarget{proc: proc, cost: step, ack: ackd})
+			s.sdTargets = append(s.sdTargets, sdTarget{proc: proc, cost: step, ack: ackd, cause: sim.CauseShootdown})
 			s.penalty[proc] += s.mcfg.InterruptHandle
 			if restrict {
 				cm.restrictTranslation(proc, e.vpn)

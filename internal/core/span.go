@@ -17,11 +17,16 @@ import (
 
 // sdTarget is the per-round scratch record of one interrupted
 // shootdown target: the initiator-side synchronization or dispatch
-// cost, and any injected slow-acknowledgement delay.
+// cost, any injected slow-acknowledgement delay, and the cause the
+// target's span (and account charge) carries — CauseShootdown for
+// eager targets, CauseBatchFlush for targets a forced batch flush
+// interrupted (the zero Cause value is CauseUnattributed, so every
+// append sets it explicitly).
 type sdTarget struct {
-	proc int
-	cost sim.Time
-	ack  sim.Time
+	proc  int
+	cost  sim.Time
+	ack   sim.Time
+	cause sim.Cause
 }
 
 // Spans returns the system's span recorder (always present; its
@@ -71,6 +76,9 @@ func (s *System) spanAbort(at sim.Time, root span.Span) {
 	s.pending = s.pending[:0]
 	s.spanParent = span.None
 	s.fcSpanned = 0
+	// A failed operation charges nothing, so replica write-through cost
+	// its partial work accumulated must not leak into the next fault.
+	s.ptRepPend = 0
 }
 
 // spanThaw buffers one thaw decision's span — enclosing its shootdown
@@ -129,7 +137,7 @@ func (s *System) roundRecord(start, d sim.Time, cp *Cpage, initiator int, note s
 		s.spanChild(span.Span{
 			Parent: roundID, Kind: span.KindShootTarget,
 			Start: cur, End: cur + tg.cost, Proc: tg.proc, Page: cp.id,
-			Cause: sim.CauseShootdown, Self: tg.cost,
+			Cause: tg.cause, Self: tg.cost,
 		})
 		cur += tg.cost
 		if tg.ack > 0 {

@@ -46,7 +46,7 @@ func TestRegistry(t *testing.T) {
 		"app-suite", "basic-ops", "blockxfer-concurrency",
 		"colocate-options", "fig1", "fig5", "fig6", "freeze-anecdote",
 		"gauss-compare", "machine-generations", "page-size-sweep",
-		"policy-ablation", "repl-source", "scaling", "t1-sweep",
+		"policy-ablation", "pt-variants", "repl-source", "scaling", "t1-sweep",
 		"table1", "table1-empirical", "topo-custom", "topo-nodes",
 		"topo-skew", "topo-tiers",
 	}

@@ -157,6 +157,12 @@ type Machine struct {
 	// placeOrder caches PlaceOrder's per-node module orderings.
 	placeOrder [][]int32
 
+	// replicaHomes/replicaOf cache ReplicaHomes/ReplicaHomeOf: one
+	// page-table replica home per level-0 switch domain (or per node on
+	// machines without contended switch levels).
+	replicaHomes []int32
+	replicaOf    []int32
+
 	// accessFault, when set, injects a transient busy/retry delay into
 	// word accesses (see SetAccessFault). nil in normal operation.
 	accessFault func(proc, mod int) sim.Time

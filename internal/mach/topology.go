@@ -314,6 +314,65 @@ func (m *Machine) InterruptDispatchTo(initiator, target int) sim.Time {
 	return scaleMul(m.cfg.InterruptDispatch, m.topo.DistanceMul(initiator, target))
 }
 
+// WordLatency returns the latency of n word accesses from processor
+// proc to module mod — distance- and tier-scaled on generalized
+// topologies — without occupying the module or charging any thread.
+// It is the cost model for posted, fire-and-forget memory updates the
+// issuing processor does not wait on at the module, such as the
+// write-through maintenance of page-table replicas (core.PTReplicate).
+func (m *Machine) WordLatency(proc, mod, n int, write bool) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	lat, _ := m.wordCost(proc, mod, n, write)
+	return lat
+}
+
+// ReplicaHomes returns the nodes that hold a page-table replica under
+// per-domain replication (core.PTReplicate): the lowest-numbered node
+// of each level-0 switch domain, or every node when the machine has no
+// contended switch levels (each node then keeps a private replica).
+// The slice is computed once and cached; callers must not modify it.
+func (m *Machine) ReplicaHomes() []int32 {
+	m.buildReplicaHomes()
+	return m.replicaHomes
+}
+
+// ReplicaHomeOf returns the replica home serving proc: the node whose
+// page-table replica proc's translation hardware walks.
+func (m *Machine) ReplicaHomeOf(proc int) int {
+	m.buildReplicaHomes()
+	return int(m.replicaOf[proc])
+}
+
+// buildReplicaHomes computes the ReplicaHomes/ReplicaHomeOf tables.
+// The topology is immutable for the machine's lifetime (Reset keeps
+// it), so the tables survive resets like placeOrder does.
+func (m *Machine) buildReplicaHomes() {
+	if m.replicaOf != nil {
+		return
+	}
+	n := m.cfg.Nodes
+	m.replicaOf = make([]int32, n)
+	if m.topo == nil || len(m.topo.Levels) == 0 {
+		m.replicaHomes = make([]int32, n)
+		for i := 0; i < n; i++ {
+			m.replicaHomes[i] = int32(i)
+			m.replicaOf[i] = int32(i)
+		}
+		return
+	}
+	dom := m.topo.Levels[0].Domain
+	first := map[int]int32{}
+	for i := 0; i < n; i++ {
+		if _, ok := first[dom[i]]; !ok {
+			first[dom[i]] = int32(i)
+			m.replicaHomes = append(m.replicaHomes, int32(i))
+		}
+		m.replicaOf[i] = first[dom[i]]
+	}
+}
+
 // scaleMul applies a per-mille multiplier to a duration.
 func scaleMul(d sim.Time, mul int) sim.Time {
 	if mul == DistScale {

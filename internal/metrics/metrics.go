@@ -45,6 +45,12 @@ type Breakdown struct {
 	KernelNs        int64 `json:"kernel_ns"`
 	RetryNs         int64 `json:"retry_ns"`
 	SlowAckNs       int64 `json:"slow_ack_ns"`
+	// The page-table variant causes (core.PTConfig) are omitted when
+	// zero so reports from runs with the variants disabled stay
+	// byte-identical to reports from builds that predate them.
+	PmapWalkNs    int64 `json:"pmap_walk_ns,omitempty"`
+	PTReplicateNs int64 `json:"pt_replicate_ns,omitempty"`
+	BatchFlushNs  int64 `json:"batch_flush_ns,omitempty"`
 }
 
 // FromAccount converts a sim.Account into its JSON schema form.
@@ -63,6 +69,9 @@ func FromAccount(a sim.Account) Breakdown {
 		KernelNs:        int64(a[sim.CauseKernel]),
 		RetryNs:         int64(a[sim.CauseRetry]),
 		SlowAckNs:       int64(a[sim.CauseSlowAck]),
+		PmapWalkNs:      int64(a[sim.CausePmapWalk]),
+		PTReplicateNs:   int64(a[sim.CausePTReplicate]),
+		BatchFlushNs:    int64(a[sim.CauseBatchFlush]),
 	}
 }
 

@@ -88,6 +88,25 @@ const (
 	// fault-injection harnesses charge it.
 	CauseSlowAck
 
+	// CausePmapWalk is page-table walk time: the memory references a
+	// processor's translation hardware makes against the node holding
+	// the Pmap after an ATC miss. Only charged when page-table
+	// placement modeling is enabled (core.PTConfig); the paper's
+	// baseline treats walks as free, so the balance is zero there.
+	CausePmapWalk
+
+	// CausePTReplicate is page-table replica maintenance: the
+	// write-through updates that keep per-node page-table replicas
+	// coherent when a mapping is installed (the Mitosis-style variant;
+	// see core.PTReplicate).
+	CausePTReplicate
+
+	// CauseBatchFlush is deferred TLB-shootdown flush time: applying
+	// invalidations that a batching variant coalesced per target
+	// instead of broadcasting eagerly (the numaPTE-style variant; see
+	// core.PTConfig.BatchShootdown).
+	CauseBatchFlush
+
 	// NumCauses is the number of attribution causes (array sizing).
 	NumCauses
 )
@@ -120,6 +139,12 @@ func (c Cause) String() string {
 		return "retry"
 	case CauseSlowAck:
 		return "slow_ack"
+	case CausePmapWalk:
+		return "pmap_walk"
+	case CausePTReplicate:
+		return "pt_replicate"
+	case CauseBatchFlush:
+		return "batch_flush"
 	}
 	return "cause(?)"
 }

@@ -163,6 +163,9 @@ func TestCauseStrings(t *testing.T) {
 		CauseKernel:        "kernel",
 		CauseRetry:         "retry",
 		CauseSlowAck:       "slow_ack",
+		CausePmapWalk:      "pmap_walk",
+		CausePTReplicate:   "pt_replicate",
+		CauseBatchFlush:    "batch_flush",
 	}
 	if len(want) != int(NumCauses) {
 		t.Fatalf("test covers %d causes, NumCauses is %d", len(want), NumCauses)

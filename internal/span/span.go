@@ -110,6 +110,19 @@ const (
 	// KindSlice is a kernel thread's scheduling slice: its lifetime on
 	// one processor, split by Migrate.
 	KindSlice
+	// KindPmapWalk is a hardware page-table walk against the node
+	// holding the Pmap, after an ATC miss (CausePmapWalk; only under
+	// core.PTConfig page-table placement modeling).
+	KindPmapWalk
+	// KindPTReplicate is the write-through update of remote page-table
+	// replicas after a mapping install (CausePTReplicate; the
+	// Mitosis-style variant).
+	KindPTReplicate
+	// KindBatchFlush is a target processor applying coalesced deferred
+	// TLB invalidations on address-space activation (CauseBatchFlush;
+	// the numaPTE-style variant). Initiator-side forced-flush targets
+	// appear as KindShootTarget children carrying CauseBatchFlush.
+	KindBatchFlush
 
 	numKinds // sentinel: count of span kinds
 )
@@ -156,6 +169,12 @@ func (k Kind) String() string {
 		return "thaw"
 	case KindSlice:
 		return "slice"
+	case KindPmapWalk:
+		return "pmap-walk"
+	case KindPTReplicate:
+		return "pt-replicate"
+	case KindBatchFlush:
+		return "batch-flush"
 	}
 	return "span(?)"
 }

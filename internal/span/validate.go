@@ -21,6 +21,9 @@ var ReconciledCauses = []sim.Cause{
 	sim.CauseBlockTransfer,
 	sim.CauseSlowAck,
 	sim.CauseRetry,
+	sim.CausePmapWalk,
+	sim.CausePTReplicate,
+	sim.CauseBatchFlush,
 }
 
 // SelfTotals sums every span's Self by cause.

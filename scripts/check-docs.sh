@@ -53,7 +53,17 @@ for name in $(go run ./cmd/platinum-vet -list | cut -f1); do
 	fi
 done
 
-# 5. TOPOLOGY.md's embedded JSON examples and the shipped example files
+# 5. EXPERIMENTS.md documents every registered experiment by id
+#    (cmd/platinum-bench -list is the registry), so new sweeps — like
+#    pt-variants — cannot land without a paper-vs-measured section.
+for id in $(go run ./cmd/platinum-bench -list | awk '{print $1}'); do
+	if ! grep -q "$id" EXPERIMENTS.md; then
+		echo "EXPERIMENTS.md: does not document experiment '$id' (platinum-bench -list)"
+		fail=1
+	fi
+done
+
+# 6. TOPOLOGY.md's embedded JSON examples and the shipped example files
 #    must parse and validate with the real loader (mach.ParseTopology),
 #    so the normative spec cannot drift from the parser.
 if ! go run ./scripts/topocheck TOPOLOGY.md examples/topologies/*.json; then
