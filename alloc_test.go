@@ -128,3 +128,55 @@ func TestRecordZeroAlloc(t *testing.T) {
 		t.Errorf("Record allocates %v per op, want 0", got)
 	}
 }
+
+// TestChargeTelemetryZeroAlloc pins the instrumented charge path: with
+// histograms and the cause series enabled, Charge still must not
+// allocate — telemetry records into preallocated storage.
+func TestChargeTelemetryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	var allocs float64
+	e := sim.NewEngine()
+	e.EnableChargeHistograms(1)
+	e.EnableCauseSeries(1000, 64)
+	e.Spawn("meter", func(th *sim.Thread) {
+		th.BindNode(0)
+		for i := 0; i < 100; i++ {
+			th.Charge(sim.CauseCompute, 1) // warm pools and the series ring
+		}
+		allocs = testing.AllocsPerRun(200, func() { th.Charge(sim.CauseCompute, 100) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("Charge with telemetry allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestRecordTelemetryZeroAlloc pins instrumented span recording: with
+// op histograms and the count series enabled, Record (and the freeze
+// CountEvent hook) still must not allocate.
+func TestRecordTelemetryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates; run without -race")
+	}
+	rec := span.NewRecorder(8)
+	rec.EnableOpHists()
+	rec.EnableCountSeries(1000, 64)
+	sp := span.Span{Kind: span.KindFault, Start: 0, End: 1, Proc: 0, Page: -1}
+	for i := 0; i < 16; i++ {
+		rec.Record(sp) // fill and wrap the ring
+	}
+	now := sim.Time(0)
+	got := testing.AllocsPerRun(200, func() {
+		now += 2
+		sp.Start, sp.End = now, now+1
+		rec.Record(sp)
+		rec.CountEvent(now, span.CountFreeze)
+	})
+	if got != 0 {
+		t.Errorf("Record with telemetry allocates %v per op, want 0", got)
+	}
+}

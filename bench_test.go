@@ -14,11 +14,13 @@ import (
 	"strings"
 	"testing"
 
+	"platinum/internal/apps"
 	"platinum/internal/core"
 	"platinum/internal/exp"
 	"platinum/internal/kernel"
 	"platinum/internal/mach"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // benchExperiment runs one experiment per iteration and reports a named
@@ -144,6 +146,48 @@ func BenchmarkReplSource(b *testing.B) {
 	benchExperiment(b, "repl-source", "least-loaded-speedup", func(t *exp.Table) float64 {
 		return cell(t, 1, 2)
 	})
+}
+
+// BenchmarkGaussTelemetry prices the distributional telemetry: the same
+// gauss run with everything off versus charge histograms, op histograms
+// and both simulated-time series all on. The two sub-benchmarks share
+// nothing (distinct pool keys — instrumentation state is part of the
+// platform configuration), so "off" is the clean baseline; the "on"
+// variant additionally reports the fault-latency percentiles the
+// histograms exist to produce. The overhead budget is <2% and zero
+// extra allocations per op (scripts/bench-snapshot.sh records both).
+func BenchmarkGaussTelemetry(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		key := "bench-gauss:telemetry=off"
+		if instrument {
+			key = "bench-gauss:telemetry=on"
+		}
+		var p50, p99 float64
+		for i := 0; i < b.N; i++ {
+			pl, err := apps.AcquirePlatform(key, kernel.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if instrument {
+				pl.K.EnableHistograms()
+				pl.K.EnableSeries(sim.Time(1e6), 0) // 1ms windows
+			}
+			if _, err := apps.RunGaussPlatinum(pl, apps.DefaultGaussConfig(64, 8)); err != nil {
+				b.Fatal(err)
+			}
+			if instrument {
+				h := pl.K.Spans().OpHist(span.KindFault)
+				p50, p99 = float64(h.Quantile(0.50)), float64(h.Quantile(0.99))
+			}
+			apps.ReleasePlatform(key, pl)
+		}
+		if instrument {
+			b.ReportMetric(p50, "p50-fault-ns")
+			b.ReportMetric(p99, "p99-fault-ns")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // parseDur converts a sim.Time string like "1.340ms" to milliseconds.

@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeline := fs.String("timeline", "", "write a per-node timeline as JSON Lines to this file (requires -trace)")
 	bucket := fs.Duration("bucket", time.Millisecond, "timeline bucket width (virtual time)")
 	spans := fs.String("spans", "", "record causal spans and write Chrome trace-event JSON to this file")
+	histOn := fs.Bool("hist", false, "record latency histograms (per-cause charges and whole operations) and print percentile tables")
+	series := fs.Duration("series", 0, "record windowed rate curves over simulated time with this window width (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,7 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// (the determinism A/B tests, future batch drivers) reuse one reset
 	// kernel instead of booting a fresh one. The key carries every
 	// setting that changes the kernel's instrumentation state.
-	poolKey := fmt.Sprintf("platinum-report:trace=%d spans=%t", *trace, *spans != "")
+	poolKey := fmt.Sprintf("platinum-report:trace=%d spans=%t hist=%t series=%v",
+		*trace, *spans != "", *histOn, *series)
 	pl, err := apps.AcquirePlatform(poolKey, kernel.DefaultConfig())
 	if err != nil {
 		return fail(err)
@@ -81,6 +84,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("-spans is not supported with -app anecdote (it boots its own kernel)"))
 		}
 		pl.K.EnableSpans(0)
+	}
+	if *histOn || *series > 0 {
+		if *app == "anecdote" {
+			return fail(fmt.Errorf("-hist/-series are not supported with -app anecdote (it boots its own kernel)"))
+		}
+		if *histOn {
+			pl.K.EnableHistograms()
+		}
+		if *series > 0 {
+			pl.K.EnableSeries(sim.Time(*series), 0)
+		}
 	}
 
 	var elapsed sim.Time
@@ -150,13 +164,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := metrics.CheckConservation(accounts); err != nil {
 		return fail(err)
 	}
+	if *histOn {
+		// Histograms dogfood their own invariant: every nanosecond the
+		// accounts classified must appear in a bucket, exactly.
+		if err := metrics.CheckHistConservation(pl.K.Engine(), accounts); err != nil {
+			return fail(err)
+		}
+	}
 	report := pl.K.Report()
+	var hsec *metrics.Histograms
+	var ssec *metrics.SeriesMetrics
+	if *histOn || *series > 0 {
+		hsec = metrics.BuildHistograms(pl.K.Engine(), pl.K.Spans())
+		ssec = metrics.BuildSeries(pl.K.CauseSeries(), pl.K.Spans().CountSeries())
+	}
 
 	if *jsonOut {
 		mr := metrics.BuildReport(*app, *procs, elapsed, accounts, report)
 		if *top > 0 && len(mr.Pages) > *top {
 			mr.Pages = mr.Pages[:*top]
 		}
+		mr.AttachTelemetry(hsec, ssec)
 		if err := metrics.WriteJSON(stdout, mr); err != nil {
 			return fail(err)
 		}
@@ -181,6 +209,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if hits+misses > 0 {
 			fmt.Fprintf(stdout, "\nATC: %d hits, %d misses (%.1f%% hit rate)\n",
 				hits, misses, 100*float64(hits)/float64(hits+misses))
+		}
+		if hsec != nil {
+			writeHistTables(stdout, hsec)
+		}
+		if ssec != nil {
+			writeSeriesTable(stdout, ssec)
 		}
 	}
 
@@ -237,6 +271,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	apps.ReleasePlatform(poolKey, pl)
 	return 0
+}
+
+// writeHistTables prints the latency-distribution tables: machine-wide
+// per-cause charge distributions, then whole-operation distributions.
+// Percentiles are bucket upper bounds (<=12.5% relative error), capped
+// at the exact max; count, sum-derived mean and max are exact.
+func writeHistTables(w io.Writer, h *metrics.Histograms) {
+	writeHistSection := func(title string, hs []metrics.HistogramMetrics) {
+		if len(hs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n%s:\n", title)
+		fmt.Fprintf(w, "  %-15s %10s %12s %12s %12s %12s %12s %12s\n",
+			"", "count", "p50", "p90", "p99", "p99.9", "max", "mean")
+		for _, m := range hs {
+			mean := sim.Time(0)
+			if m.Count > 0 {
+				mean = sim.Time(m.SumNs / m.Count)
+			}
+			fmt.Fprintf(w, "  %-15s %10d %12v %12v %12v %12v %12v %12v\n",
+				m.Name, m.Count, sim.Time(m.P50Ns), sim.Time(m.P90Ns),
+				sim.Time(m.P99Ns), sim.Time(m.P999Ns), sim.Time(m.MaxNs), mean)
+		}
+	}
+	writeHistSection("charge latency distributions", h.Charges)
+	writeHistSection("operation latency distributions", h.Ops)
+}
+
+// writeSeriesTable prints the rate curves: per window of simulated
+// time, operation counts plus the window's remote-access and
+// fault+shootdown time fractions.
+func writeSeriesTable(w io.Writer, s *metrics.SeriesMetrics) {
+	if len(s.Windows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrate curves (window %v of simulated time):\n", sim.Time(s.WidthNs))
+	if s.SpilledWindows > 0 {
+		fmt.Fprintf(w, "  (%d older windows evicted; totals preserved in spill)\n", s.SpilledWindows)
+	}
+	fmt.Fprintf(w, "  %-14s %7s %7s %7s %7s %7s %8s %8s\n",
+		"window", "faults", "shoot", "xfer", "freeze", "thaw", "remote%", "fault%")
+	for _, win := range s.Windows {
+		var total, remote, fault int64
+		for name, v := range win.TimeNs {
+			total += v
+			switch name {
+			case "remote_access":
+				remote += v
+			case "fault", "shootdown":
+				fault += v
+			}
+		}
+		remoteFrac, faultFrac := 0.0, 0.0
+		if total > 0 {
+			remoteFrac = 100 * float64(remote) / float64(total)
+			faultFrac = 100 * float64(fault) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-14v %7d %7d %7d %7d %7d %7.1f%% %7.1f%%\n",
+			sim.Time(win.StartNs),
+			win.Counts["faults"], win.Counts["shootdowns"], win.Counts["block_transfers"],
+			win.Counts["freezes"], win.Counts["thaws"], remoteFrac, faultFrac)
+	}
 }
 
 // writeBreakdown prints the machine-wide per-cause time table.

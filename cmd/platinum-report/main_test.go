@@ -68,6 +68,60 @@ func TestReportJSONGolden(t *testing.T) {
 	checkGolden(t, "gauss_report.golden.json", []byte(out))
 }
 
+func TestHistTextGolden(t *testing.T) {
+	out, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-top", "4",
+		"-hist", "-series", "1ms")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	checkGolden(t, "gauss_hist.golden.txt", []byte(out))
+}
+
+func TestHistJSONGolden(t *testing.T) {
+	out, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-top", "4",
+		"-hist", "-series", "1ms", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var doc struct {
+		SchemaVersion int             `json:"schema_version"`
+		Histograms    json.RawMessage `json:"histograms"`
+		Series        json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.SchemaVersion != 2 {
+		t.Errorf("schema_version = %d, want 2 with telemetry attached", doc.SchemaVersion)
+	}
+	if len(doc.Histograms) == 0 || len(doc.Series) == 0 {
+		t.Error("telemetry sections missing from -hist -series -json output")
+	}
+	checkGolden(t, "gauss_hist.golden.json", []byte(out))
+}
+
+// TestZeroConfigOmitsTelemetry pins the omitempty contract: without
+// -hist/-series the JSON document carries neither section and keeps
+// schema version 1.
+func TestZeroConfigOmitsTelemetry(t *testing.T) {
+	out, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2", "-top", "4", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if strings.Contains(out, "histograms") || strings.Contains(out, "\"series\"") {
+		t.Error("telemetry sections present in zero-config output")
+	}
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != 1 {
+		t.Errorf("schema_version = %d, want 1 without telemetry", doc.SchemaVersion)
+	}
+}
+
 func TestTimelineGolden(t *testing.T) {
 	dir := t.TempDir()
 	tl := filepath.Join(dir, "timeline.jsonl")
@@ -131,6 +185,7 @@ func TestPoolingOutputIdentical(t *testing.T) {
 			{"json", []string{"-json"}, ""},
 			{"timeline", []string{"-trace", "2000", "-timeline", "FILE"}, filepath.Join(dir, app+"_timeline.jsonl")},
 			{"spans", []string{"-spans", "FILE"}, filepath.Join(dir, app+"_spans.json")},
+			{"hist", []string{"-hist", "-series", "1ms", "-json"}, ""},
 		}
 		for _, m := range modes {
 			args := append(append([]string{}, base...), m.args...)
@@ -175,6 +230,13 @@ func TestPoolingOutputIdentical(t *testing.T) {
 
 func TestSpansRejectsAnecdote(t *testing.T) {
 	_, code := runCmd(t, "-app", "anecdote", "-spans", filepath.Join(t.TempDir(), "x.json"))
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestHistRejectsAnecdote(t *testing.T) {
+	_, code := runCmd(t, "-app", "anecdote", "-hist")
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
 	}

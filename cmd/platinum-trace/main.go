@@ -27,7 +27,9 @@ import (
 
 	"platinum/internal/apps"
 	"platinum/internal/kernel"
+	"platinum/internal/sim"
 	"platinum/internal/span"
+	"platinum/internal/timeseries"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "", "write the trace to this file (default stdout)")
 	text := fs.Bool("text", false, "dump spans as an indented text tree instead of Chrome JSON")
 	validate := fs.Bool("validate", false, "check span nesting and exact Account reconciliation instead of exporting")
+	counters := fs.Duration("counters", 0, "add Perfetto counter tracks (fault rate, remote fraction, ...) sampled at this window width (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	pl.K.EnableSpans(0)
+	if *counters > 0 {
+		pl.K.EnableSeries(sim.Time(*counters), 0)
+	}
 
 	switch *app {
 	case "gauss":
@@ -131,7 +137,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if err := span.WriteChrome(w, spans); err != nil {
+	var tracks []span.CounterTrack
+	if *counters > 0 {
+		tracks = counterTracks(pl.K.CauseSeries(), rec.CountSeries())
+	}
+	if err := span.WriteChromeWith(w, spans, tracks); err != nil {
 		return fail(err)
 	}
 	if *out != "" {
@@ -139,4 +149,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 			len(spans), pl.Elapsed(), *out)
 	}
 	return 0
+}
+
+// counterTracks turns the windowed telemetry series into Perfetto
+// counter tracks: operation rates per window from the span recorder's
+// count series, and the remote-access and fault+shootdown time
+// fractions per window from the engine's cause series. One point per
+// window across the full retained range (zeros included) so the curves
+// return to baseline between bursts.
+func counterTracks(cause, counts *timeseries.Series) []span.CounterTrack {
+	var tracks []span.CounterTrack
+	if counts != nil && !counts.Empty() {
+		cols := []struct {
+			col  int
+			name string
+		}{
+			{span.CountFault, "faults/window"},
+			{span.CountShootdown, "shootdowns/window"},
+			{span.CountBlockTransfer, "block-transfers/window"},
+			{span.CountFreeze, "freezes/window"},
+			{span.CountThaw, "thaws/window"},
+		}
+		for _, c := range cols {
+			tr := span.CounterTrack{Name: c.name}
+			for w := counts.LoWindow(); w <= counts.HiWindow(); w++ {
+				tr.Points = append(tr.Points, span.CounterPoint{
+					Ts: counts.WindowStart(w), Value: float64(counts.At(w, c.col)),
+				})
+			}
+			tracks = append(tracks, tr)
+		}
+	}
+	if cause != nil && !cause.Empty() {
+		remote := span.CounterTrack{Name: "remote-frac"}
+		fault := span.CounterTrack{Name: "fault-frac"}
+		for w := cause.LoWindow(); w <= cause.HiWindow(); w++ {
+			var total int64
+			for c := sim.Cause(0); c < sim.NumCauses; c++ {
+				total += cause.At(w, int(c))
+			}
+			rf, ff := 0.0, 0.0
+			if total > 0 {
+				rf = float64(cause.At(w, int(sim.CauseRemoteAccess))) / float64(total)
+				ff = float64(cause.At(w, int(sim.CauseFault))+cause.At(w, int(sim.CauseShootdown))) / float64(total)
+			}
+			ts := cause.WindowStart(w)
+			remote.Points = append(remote.Points, span.CounterPoint{Ts: ts, Value: rf})
+			fault.Points = append(fault.Points, span.CounterPoint{Ts: ts, Value: ff})
+		}
+		tracks = append(tracks, remote, fault)
+	}
+	return tracks
 }

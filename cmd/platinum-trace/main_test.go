@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // runCmd drives the CLI with args and returns stdout, stderr, and the
 // exit code.
@@ -85,5 +88,75 @@ func TestUnknownAppFails(t *testing.T) {
 	_, _, code := runCmd(t, "-app", "nosuch")
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+// TestCountersGolden pins the counter-track export byte-for-byte: the
+// run is deterministic, so any diff means the simulated timing, the
+// series bucketing, or the export format changed.
+func TestCountersGolden(t *testing.T) {
+	capture := func() []byte {
+		t.Helper()
+		tr := filepath.Join(t.TempDir(), "trace.json")
+		_, errs, code := runCmd(t, "-app", "gauss", "-n", "16", "-procs", "2",
+			"-counters", "1ms", "-o", tr)
+		if code != 0 {
+			t.Fatalf("exit code %d: %s", code, errs)
+		}
+		raw, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	raw := capture()
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid Chrome trace JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" {
+			names[ev.Name]++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter event %q has no value arg", ev.Name)
+			}
+		}
+	}
+	for _, want := range []string{"faults/window", "remote-frac", "fault-frac"} {
+		if names[want] == 0 {
+			t.Errorf("no counter events for track %q (have %v)", want, names)
+		}
+	}
+
+	golden := filepath.Join("testdata", "gauss_counters.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Errorf("counter export drifted from %s", golden)
+	}
+
+	// Determinism: a second identical run must reproduce the export
+	// byte-for-byte.
+	if again := capture(); !bytes.Equal(raw, again) {
+		t.Error("two identical -counters runs produced different exports")
 	}
 }

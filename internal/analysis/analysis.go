@@ -174,5 +174,6 @@ func All() []*Analyzer {
 		AnalyzerSpanPair,
 		AnalyzerNoProtocolPanic,
 		AnalyzerHotAlloc,
+		AnalyzerHistCause,
 	}
 }

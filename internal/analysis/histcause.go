@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHistCause guards the histogram/reconciliation coupling in
+// internal/span: every cause listed in span.HistogramCauses — the
+// causes whose whole-operation latencies get a distribution — must
+// also appear in span.ReconciledCauses, the causes whose span Self
+// totals reconcile exactly against the engine's accounts. A
+// histogrammed cause outside the reconciled set would publish
+// percentiles for an operation whose totals nothing cross-checks, so
+// drift between the histogram and the accounts could go unnoticed.
+// Adding a cause to HistogramCauses therefore forces it into
+// reconciliation first.
+//
+// The check is purely syntactic over the two package-level composite
+// literals, resolved through the type checker, so it runs without
+// executing any simulation.
+var AnalyzerHistCause = &Analyzer{
+	Name: "histcause",
+	Doc:  "every cause in span.HistogramCauses must also appear in span.ReconciledCauses",
+	Run:  runHistCause,
+}
+
+func runHistCause(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg.Path(), "internal/span") {
+		return nil
+	}
+	histElts := causeListElts(pass, "HistogramCauses")
+	recElts := causeListElts(pass, "ReconciledCauses")
+	if histElts == nil {
+		return nil // package predates op histograms; nothing to couple
+	}
+	if recElts == nil {
+		// HistogramCauses without a reconciled set at all: every entry
+		// is unchecked.
+		pass.Reportf(histElts[0].Pos(),
+			"HistogramCauses declared but ReconciledCauses not found; histogrammed causes must reconcile")
+		return nil
+	}
+	reconciled := make(map[types.Object]bool, len(recElts))
+	for _, e := range recElts {
+		if c := causeConstOf(pass, e); c != nil {
+			reconciled[c] = true
+		}
+	}
+	for _, e := range histElts {
+		c := causeConstOf(pass, e)
+		if c == nil {
+			pass.Reportf(e.Pos(),
+				"HistogramCauses element is not a declared cause constant; list causes by name so the reconciliation check can see them")
+			continue
+		}
+		if !reconciled[c] {
+			pass.Reportf(e.Pos(),
+				"histogrammed cause %s does not appear in ReconciledCauses; add it there (and record the reconciling spans) before histogramming it", c.Name())
+		}
+	}
+	return nil
+}
+
+// causeListElts returns the elements of the package-level composite
+// literal `var name = []sim.Cause{...}`, or nil when the variable is
+// absent or not a composite literal.
+func causeListElts(pass *Pass, name string) []ast.Expr {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return lit.Elts
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// causeConstOf resolves a list element to the constant object it
+// names (sim.CauseFault as a selector, or a dot-imported/local
+// identifier), or nil when it is anything else.
+func causeConstOf(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	if c, ok := pass.ObjectOf(id).(*types.Const); ok {
+		return c
+	}
+	return nil
+}

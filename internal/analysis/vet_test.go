@@ -43,6 +43,14 @@ func TestHotAlloc(t *testing.T) {
 	}
 }
 
+// TestHistCause runs the histogram/reconciliation coupling check
+// against the span fixture, whose HistogramCauses deliberately lists
+// one cause missing from ReconciledCauses.
+func TestHistCause(t *testing.T) {
+	analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerHistCause}, "platinum/internal/span")
+}
+
 // TestScopeLimits runs the full suite over a package that is neither a
 // simulation nor a protocol package: wall-clock reads, global rand and
 // panics there are out of scope and must produce no findings.
@@ -92,7 +100,7 @@ func TestSuppressionClean(t *testing.T) {
 // TestRegistry pins the suite's registration invariants: stable order,
 // unique non-empty names, and a doc line for platinum-vet -list.
 func TestRegistry(t *testing.T) {
-	want := []string{"nodeterminism", "chargecause", "exhaustiveevent", "spanpair", "noprotocolpanic", "hotalloc"}
+	want := []string{"nodeterminism", "chargecause", "exhaustiveevent", "spanpair", "noprotocolpanic", "hotalloc", "histcause"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

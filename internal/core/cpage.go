@@ -5,6 +5,7 @@ import (
 
 	"platinum/internal/procset"
 	"platinum/internal/sim"
+	"platinum/internal/span"
 )
 
 // State is a coherent page's protocol state (Fig. 4 of the paper).
@@ -262,6 +263,9 @@ func (s *System) freeze(cp *Cpage, now sim.Time) {
 	cp.frozenAt = now
 	cp.Stats.Freezes++
 	s.trace(now, EvFreeze, -1, cp)
+	// Freezes record no span of their own (the decision is a flag flip
+	// inside the fault), so the count series hears about them directly.
+	s.rec.CountEvent(now, span.CountFreeze)
 	if !cp.enlisted {
 		cp.enlisted = true
 		s.frozen = append(s.frozen, cp)

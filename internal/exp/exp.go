@@ -35,6 +35,11 @@ type Options struct {
 	// that accept one (topo-custom; see platinum-bench -topology and
 	// TOPOLOGY.md). Nil for the built-in machines.
 	Topology *mach.Topology
+
+	// Progress, when non-nil, receives live run counts from forEach as
+	// a sweep executes (see cmd/platinum-bench -status). Purely
+	// observational: results are identical with or without it.
+	Progress *Progress
 }
 
 // parallelism resolves the effective worker count.
@@ -52,13 +57,16 @@ func (o Options) parallelism() int {
 // fails; the lowest-index error is returned, so failures are
 // deterministic too.
 func forEach(o Options, n int, job func(i int) error) error {
+	o.Progress.AddRuns(n)
 	workers := o.parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			err := job(i)
+			o.Progress.RunDone()
+			if err != nil {
 				return err
 			}
 		}
@@ -77,6 +85,7 @@ func forEach(o Options, n int, job func(i int) error) error {
 					return
 				}
 				errs[i] = job(i)
+				o.Progress.RunDone()
 			}
 		}()
 	}

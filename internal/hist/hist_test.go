@@ -1,0 +1,190 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBucketLayout proves the layout is a partition: buckets tile the
+// non-negative int64 range contiguously with no gaps or overlaps, and
+// bucketIndex agrees with BucketBounds everywhere (spot-checked across
+// every octave boundary).
+func TestBucketLayout(t *testing.T) {
+	var prevHi int64 = -1
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo = %d, want %d (contiguous tiling)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d: hi %d < lo %d", i, hi, lo)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", hi, got, i)
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxInt64 {
+		t.Fatalf("last bucket ends at %d, want MaxInt64", prevHi)
+	}
+}
+
+// TestBucketRelativeError pins the layout's resolution guarantee: every
+// bucket above the exact range is at most 1/SubCount of its lower bound
+// wide.
+func TestBucketRelativeError(t *testing.T) {
+	for i := SubCount; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		width := hi - lo + 1
+		if width*SubCount > lo {
+			t.Fatalf("bucket %d [%d,%d]: width %d exceeds lo/%d", i, lo, hi, width, SubCount)
+		}
+	}
+}
+
+// TestRecordExact verifies exact count/sum/max bookkeeping and the
+// negative-value clamp.
+func TestRecordExact(t *testing.T) {
+	var h H
+	vals := []int64{0, 1, 7, 8, 100, 1 << 40, -5}
+	var wantSum int64
+	for _, v := range vals {
+		h.Record(v)
+		if v < 0 {
+			v = 0
+		}
+		wantSum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %d, want %d", h.Sum(), wantSum)
+	}
+	if h.Max() != 1<<40 {
+		t.Errorf("Max = %d, want %d", h.Max(), int64(1)<<40)
+	}
+	if h.BucketTotal() != h.Count() {
+		t.Errorf("BucketTotal = %d, want Count %d", h.BucketTotal(), h.Count())
+	}
+}
+
+// TestQuantile checks quantile estimates stay within the bucket error
+// bound on a known distribution and are clamped by the exact max.
+func TestQuantile(t *testing.T) {
+	var h H
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	for _, tc := range []struct{ q float64 }{{0.5}, {0.9}, {0.99}, {0.999}, {1.0}} {
+		got := h.Quantile(tc.q)
+		exact := int64(math.Ceil(tc.q * 1000))
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d, below exact %d", tc.q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/SubCount)+1 {
+			t.Errorf("Quantile(%v) = %d, beyond error bound of exact %d", tc.q, got, exact)
+		}
+	}
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Errorf("Quantile(1.0) = %d, want exact max 1000", got)
+	}
+	var empty H
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}
+
+// TestQuantileMonotone proves estimates never decrease in q, the
+// property report tables rely on.
+func TestQuantileMonotone(t *testing.T) {
+	var h H
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		h.Record(rng.Int63n(1 << 30))
+	}
+	prev := int64(-1)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestMerge verifies merging conserves count, sum, max and buckets.
+func TestMerge(t *testing.T) {
+	var a, b, want H
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63n(1 << 45)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		want.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != want.Count() || a.Sum() != want.Sum() || a.Max() != want.Max() {
+		t.Errorf("merge: count/sum/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Sum(), a.Max(), want.Count(), want.Sum(), want.Max())
+	}
+	if a.BucketTotal() != want.BucketTotal() {
+		t.Errorf("merge: BucketTotal = %d, want %d", a.BucketTotal(), want.BucketTotal())
+	}
+}
+
+// TestEach verifies sparse iteration covers exactly the recorded
+// buckets, in ascending order.
+func TestEach(t *testing.T) {
+	var h H
+	h.Record(3)
+	h.Record(3)
+	h.Record(1000)
+	var n, total int64
+	prevLo := int64(-1)
+	h.Each(func(lo, hi, count int64) {
+		if lo <= prevLo {
+			t.Errorf("Each out of order: lo %d after %d", lo, prevLo)
+		}
+		prevLo = lo
+		n++
+		total += count
+	})
+	if n != 2 {
+		t.Errorf("Each visited %d buckets, want 2", n)
+	}
+	if total != 3 {
+		t.Errorf("Each counts total %d, want 3", total)
+	}
+}
+
+// TestReset verifies Reset returns to the zero state.
+func TestReset(t *testing.T) {
+	var h H
+	h.Record(123)
+	h.Reset()
+	if !h.Empty() || h.Sum() != 0 || h.Max() != 0 || h.BucketTotal() != 0 {
+		t.Errorf("Reset left residue: %+v", h)
+	}
+}
+
+// TestRecordZeroAlloc pins the record path: a fixed-size histogram
+// never allocates.
+func TestRecordZeroAlloc(t *testing.T) {
+	var h H
+	v := int64(0)
+	got := testing.AllocsPerRun(2000, func() {
+		v += 37
+		h.Record(v)
+	})
+	if got != 0 {
+		t.Errorf("Record allocates %v per op, want 0", got)
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"fmt"
 
 	"platinum/internal/core"
+	"platinum/internal/hist"
 	"platinum/internal/mach"
 	"platinum/internal/sim"
 	"platinum/internal/span"
+	"platinum/internal/timeseries"
 	"platinum/internal/vm"
 )
 
@@ -289,3 +291,34 @@ func (k *Kernel) EnableSpans(capacity int) { k.sys.Spans().EnableRetain(capacity
 
 // Spans returns the machine's causal span recorder.
 func (k *Kernel) Spans() *span.Recorder { return k.sys.Spans() }
+
+// EnableHistograms starts distributional latency telemetry: per-node
+// per-cause charge histograms in the engine plus whole-operation
+// histograms (full fault, shootdown round, block transfer) in the span
+// recorder. Pure bookkeeping — results are unchanged. Call before Run
+// so the recording is complete and the histogram conservation check
+// (metrics.CheckHistConservation) is exact; Reset turns it off again.
+func (k *Kernel) EnableHistograms() {
+	k.engine.EnableChargeHistograms(k.Nodes())
+	k.sys.Spans().EnableOpHists()
+}
+
+// EnableSeries starts windowed time-series telemetry over simulated
+// time: per-cause charged time in the engine and operation counts
+// (faults, shootdowns, block transfers, freezes, thaws) in the span
+// recorder, in windows of the given width. capWindows bounds the
+// retained ring (<= 0 selects the timeseries default); older windows
+// spill into exact per-column accumulators rather than being lost.
+// Call before Run; Reset turns it off again.
+func (k *Kernel) EnableSeries(window sim.Time, capWindows int) {
+	k.engine.EnableCauseSeries(window, capWindows)
+	k.sys.Spans().EnableCountSeries(window, capWindows)
+}
+
+// CauseSeries returns the engine's per-cause charged-time series, or
+// nil when EnableSeries was not called.
+func (k *Kernel) CauseSeries() *timeseries.Series { return k.engine.CauseSeries() }
+
+// ChargeHist returns the engine's charge histogram for (node, cause),
+// or nil when EnableHistograms was not called.
+func (k *Kernel) ChargeHist(node int, c sim.Cause) *hist.H { return k.engine.ChargeHist(node, c) }

@@ -161,6 +161,12 @@ type Report struct {
 	Total         Breakdown       `json:"total"`
 	Nodes         []NodeBreakdown `json:"nodes"`
 	Pages         []PageMetrics   `json:"pages"`
+
+	// Telemetry sections (schema version 2): present only when the run
+	// had histograms or time series enabled (AttachTelemetry), so
+	// zero-config reports stay byte-identical to schema version 1.
+	Histograms *Histograms    `json:"histograms,omitempty"`
+	Series     *SeriesMetrics `json:"series,omitempty"`
 }
 
 // BuildReport assembles a Report from an engine's per-node accounts and

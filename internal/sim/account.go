@@ -187,6 +187,9 @@ func (t *Thread) attribute(c Cause, d Time) {
 		na := &t.engine.nodeAcct[t.node]
 		na[CauseUnattributed] -= d
 		na[c] += d
+		if t.engine.telemetry {
+			t.engine.recordCharge(t.node, c, t.clock, d)
+		}
 	}
 }
 
@@ -202,6 +205,12 @@ func (t *Thread) bank(c Cause, d Time) {
 	t.acct[c] += d
 	if t.node >= 0 {
 		t.engine.nodeAcct[t.node][c] += d
+		if t.engine.telemetry && c != CauseUnattributed {
+			// Unattributed banks are Advance's fresh time, later moved by
+			// attribute; recording them here would double-count against
+			// the classified charges the histograms mirror.
+			t.engine.recordCharge(t.node, c, t.clock, d)
+		}
 	}
 }
 
@@ -240,6 +249,11 @@ func (t *Thread) BindNode(n int) {
 			copy(grown, t.engine.nodeAcct)
 			t.engine.nodeAcct = grown
 		}
+	}
+	if t.engine.histsOn {
+		// Histogram storage mirrors nodeAcct's growth so the hot-path
+		// record never has to (binding is the cold setup path).
+		t.engine.growChargeHists(n + 1)
 	}
 	t.node = n
 }

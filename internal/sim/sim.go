@@ -33,6 +33,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+
+	"platinum/internal/hist"
+	"platinum/internal/timeseries"
 )
 
 // Time is a point in (or duration of) virtual time, in nanoseconds.
@@ -103,6 +106,16 @@ type Engine struct {
 	// nodeAcct accumulates per-node cost attribution for threads bound
 	// via Thread.BindNode (see account.go); grown on demand.
 	nodeAcct []Account
+
+	// Opt-in charge-path telemetry (see telemetry.go): telemetry gates
+	// the hot-path hook, histsOn/chargeHists the per-(node, cause)
+	// latency histograms, seriesOn/causeSeries the windowed per-cause
+	// time series.
+	telemetry   bool
+	histsOn     bool
+	chargeHists []hist.H
+	seriesOn    bool
+	causeSeries *timeseries.Series
 
 	// pool holds finished Thread structs recycled by Reset. Their
 	// goroutines have exited and their resume channels are drained, so
@@ -438,4 +451,5 @@ func (e *Engine) Reset() {
 		acct[i] = Account{}
 	}
 	e.nodeAcct = e.nodeAcct[:0]
+	e.resetTelemetry()
 }

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runChargedWorkload spawns a few node-bound threads that charge a mix
+// of causes (via Charge, Attribute-after-Advance, and Unblock's banked
+// sync time) and runs the engine to completion.
+func runChargedWorkload(t *testing.T, e *Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var wake *Thread
+	e.Spawn("sleeper", func(th *Thread) {
+		th.BindNode(0)
+		wake = th
+		th.Block()
+		th.Charge(CauseCompute, 10)
+	})
+	e.Spawn("worker0", func(th *Thread) {
+		th.BindNode(0)
+		for i := 0; i < 200; i++ {
+			th.Charge(CauseLocalAccess, Time(320+rng.Int63n(40)))
+			if i%5 == 0 {
+				th.Charge(CauseRemoteAccess, Time(5000+rng.Int63n(500)))
+			}
+		}
+		th.Advance(100)
+		th.Attribute(CauseFault, 100)
+		wake.Unblock(th.Now())
+	})
+	e.Spawn("worker1", func(th *Thread) {
+		th.BindNode(1)
+		for i := 0; i < 100; i++ {
+			th.Charge(CauseBlockTransfer, Time(1_100_000))
+			th.Charge(CauseShootdown, Time(50_000+rng.Int63n(1000)))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestChargeHistConservation verifies the by-construction invariant:
+// for every node and classified cause, the histogram's exact sum equals
+// the node account entry.
+func TestChargeHistConservation(t *testing.T) {
+	e := NewEngine()
+	e.EnableChargeHistograms(2)
+	e.EnableCauseSeries(100_000, 64)
+	runChargedWorkload(t, e)
+
+	accts := e.NodeAccounts()
+	for n := range accts {
+		for c := Cause(0); c < NumCauses; c++ {
+			if c == CauseUnattributed {
+				continue
+			}
+			var sum, count, btotal int64
+			if h := e.ChargeHist(n, c); h != nil {
+				sum, count, btotal = h.Sum(), h.Count(), h.BucketTotal()
+			}
+			if want := int64(accts[n][c]); sum != want {
+				t.Errorf("node %d cause %v: hist sum %d != account %d", n, c, sum, want)
+			}
+			if btotal != count {
+				t.Errorf("node %d cause %v: bucket total %d != count %d", n, c, btotal, count)
+			}
+		}
+	}
+
+	// The series conserves machine-wide: retained windows plus spill
+	// equal the total account per cause.
+	total := e.TotalAccount()
+	s := e.CauseSeries()
+	if s == nil {
+		t.Fatal("CauseSeries returned nil with series enabled")
+	}
+	for c := Cause(0); c < NumCauses; c++ {
+		if c == CauseUnattributed {
+			continue
+		}
+		if got, want := s.Total(int(c)), int64(total[c]); got != want {
+			t.Errorf("cause %v: series total %d != account %d", c, got, want)
+		}
+	}
+}
+
+// TestTelemetryDoesNotChangeResults pins the pure-bookkeeping claim:
+// the same workload with and without telemetry produces identical
+// accounts and final clocks.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	plain := NewEngine()
+	runChargedWorkload(t, plain)
+
+	instrumented := NewEngine()
+	instrumented.EnableChargeHistograms(2)
+	instrumented.EnableCauseSeries(100_000, 64)
+	runChargedWorkload(t, instrumented)
+
+	if plain.Now() != instrumented.Now() {
+		t.Errorf("final clock differs: %v vs %v", plain.Now(), instrumented.Now())
+	}
+	pa, ia := plain.NodeAccounts(), instrumented.NodeAccounts()
+	if len(pa) != len(ia) {
+		t.Fatalf("node counts differ: %d vs %d", len(pa), len(ia))
+	}
+	for n := range pa {
+		if pa[n] != ia[n] {
+			t.Errorf("node %d accounts differ: %v vs %v", n, pa[n], ia[n])
+		}
+	}
+}
+
+// TestResetDisablesTelemetry verifies Reset turns telemetry off and
+// clears its storage, and that a re-enabled engine starts empty.
+func TestResetDisablesTelemetry(t *testing.T) {
+	e := NewEngine()
+	e.EnableChargeHistograms(2)
+	e.EnableCauseSeries(100_000, 64)
+	runChargedWorkload(t, e)
+	if e.ChargeHist(0, CauseLocalAccess).Empty() {
+		t.Fatal("no local-access samples before reset")
+	}
+
+	e.Reset()
+	if e.ChargeHistogramsEnabled() {
+		t.Error("histograms still enabled after Reset")
+	}
+	if e.CauseSeries() != nil {
+		t.Error("series still enabled after Reset")
+	}
+	if e.ChargeHist(0, CauseLocalAccess) != nil {
+		t.Error("ChargeHist non-nil after Reset")
+	}
+
+	// Re-enable on the reused engine: storage must come back empty.
+	e.EnableChargeHistograms(2)
+	e.EnableCauseSeries(100_000, 64)
+	if h := e.ChargeHist(0, CauseLocalAccess); h == nil || !h.Empty() {
+		t.Error("re-enabled histogram not empty")
+	}
+	runChargedWorkload(t, e)
+	if e.ChargeHist(0, CauseLocalAccess).Empty() {
+		t.Error("re-enabled histogram recorded nothing")
+	}
+}
+
+// TestBindNodeGrowsHistograms verifies binding past the preallocated
+// node range grows histogram storage instead of dropping samples.
+func TestBindNodeGrowsHistograms(t *testing.T) {
+	e := NewEngine()
+	e.EnableChargeHistograms(1)
+	e.Spawn("late", func(th *Thread) {
+		th.BindNode(5)
+		th.Charge(CauseCompute, 42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h := e.ChargeHist(5, CauseCompute)
+	if h == nil || h.Sum() != 42 || h.Count() != 1 {
+		t.Fatalf("node-5 compute hist = %+v, want one 42ns sample", h)
+	}
+}

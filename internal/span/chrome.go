@@ -14,12 +14,13 @@ import (
 // page so a page's fault and thaw history can be read as a timeline
 // even though the spans were recorded on many different threads.
 
-// Synthetic process ids for spans with no processor and for the
-// per-page async tracks. Real processors use their own ids, which are
-// always far below these.
+// Synthetic process ids for spans with no processor, the per-page
+// async tracks, and the machine-wide counter tracks. Real processors
+// use their own ids, which are always far below these.
 const (
-	chromeNoProcPid = 1 << 20
-	chromePagePid   = 1<<20 + 1
+	chromeNoProcPid  = 1 << 20
+	chromePagePid    = 1<<20 + 1
+	chromeCounterPid = 1<<20 + 2
 )
 
 // chromeEvent is one trace event. Timestamps and durations are
@@ -53,11 +54,34 @@ func spanPid(sp Span) int64 {
 	return int64(sp.Proc)
 }
 
+// CounterPoint is one sample of a counter track: the counter takes
+// Value at virtual time Ts and holds it until the next point.
+type CounterPoint struct {
+	Ts    int64 // virtual time, ns
+	Value float64
+}
+
+// CounterTrack is one named counter rendered as its own chart row in
+// Perfetto — a rate curve (faults per window, remote-access fraction)
+// alongside the span timeline it explains.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
 // WriteChrome writes spans as Chrome trace-event JSON. Every span
 // becomes a complete ("X") event on (pid = processor, tid = recording
 // thread); fault and thaw spans are mirrored as async ("b"/"e") events
 // on the per-page process so each page gets its own causal timeline.
 func WriteChrome(w io.Writer, spans []Span) error {
+	return WriteChromeWith(w, spans, nil)
+}
+
+// WriteChromeWith is WriteChrome plus counter tracks: each track
+// becomes a sequence of counter ("C") events on a synthetic "counters"
+// process, charted by Perfetto as a value-over-time row. Tracks are
+// emitted in the order given — callers keep that order deterministic.
+func WriteChromeWith(w io.Writer, spans []Span, counters []CounterTrack) error {
 	ordered := append([]Span(nil), spans...)
 	sortSpans(ordered)
 
@@ -95,6 +119,12 @@ func WriteChrome(w io.Writer, spans []Span) error {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: chromePagePid,
 			Args: map[string]any{"name": "pages"},
+		})
+	}
+	if len(counters) > 0 {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: chromeCounterPid,
+			Args: map[string]any{"name": "counters"},
 		})
 	}
 	for tr, name := range names {
@@ -151,6 +181,15 @@ func WriteChrome(w io.Writer, spans []Span) error {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: sp.Kind.String(), Cat: "page", Ph: "e", ID: id,
 				Ts: usec(int64(sp.End)), Pid: chromePagePid, Tid: sp.Page,
+			})
+		}
+	}
+
+	for _, tr := range counters {
+		for _, p := range tr.Points {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: tr.Name, Ph: "C", Ts: usec(p.Ts), Pid: chromeCounterPid,
+				Args: map[string]any{"value": p.Value},
 			})
 		}
 	}

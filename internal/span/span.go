@@ -37,7 +37,9 @@ import (
 	"io"
 	"sort"
 
+	"platinum/internal/hist"
 	"platinum/internal/sim"
+	"platinum/internal/timeseries"
 )
 
 // ID identifies a recorded span. Zero means "no span" (no parent).
@@ -267,6 +269,14 @@ type Recorder struct {
 	// opens is a free list of Open structs recycled by End, so a
 	// Begin/End pair allocates nothing once the recorder is warm.
 	opens []*Open
+
+	// Optional distributional telemetry (see telemetry.go): per-kind
+	// whole-operation latency histograms and a windowed operation-count
+	// series, both fed from Record.
+	opHistsOn bool
+	opHists   []hist.H
+	countsOn  bool
+	counts    *timeseries.Series
 }
 
 // NewRecorder returns a recorder whose flight ring holds flightCap
@@ -294,6 +304,9 @@ func (r *Recorder) Record(sp Span) ID {
 		sp.ID = r.Alloc()
 	}
 	r.total++
+	if r.telemetryOn() {
+		r.recordTelemetry(&sp)
+	}
 	if len(r.ring) < r.rcap {
 		r.ring = append(r.ring, sp) //lint:ignore platinum/hotalloc ring warm-up growth, capped at rcap
 	} else {
@@ -441,6 +454,7 @@ func (r *Recorder) Reset() {
 	r.retaining = false
 	r.retain = r.retain[:0]
 	r.dropped = 0
+	r.resetTelemetry()
 }
 
 // Spans returns a copy of the retained spans sorted by start time

@@ -2,12 +2,19 @@
 # bench-snapshot.sh — record a performance snapshot of the simulator's
 # hot paths so perf regressions are visible as a diff.
 #
-# Runs the scheduler micro-benchmark (BenchmarkEngineStep) plus the two
+# Runs the scheduler micro-benchmark (BenchmarkEngineStep), the two
 # end-to-end application benchmarks (BenchmarkFig1Gauss,
-# BenchmarkFig5MergeSort) and writes one JSON document per line of
+# BenchmarkFig5MergeSort), and the telemetry A/B pair
+# (BenchmarkGaussTelemetry: the same gauss run with distributional
+# telemetry off and on) and writes one JSON document per line of
 # `go test -bench` output:
 #
 #   {"name": ..., "ns_per_op": ..., "allocs_per_op": ..., "git_sha": ...}
+#
+# The telemetry-on entry additionally carries the fault-latency
+# percentiles the histograms produce ("p50_fault_ns", "p99_fault_ns"),
+# and the delta table prints them as columns, so a perf regression in
+# the fault path is visible in the same diff as one in the simulator.
 #
 # Usage (from the repository root):
 #
@@ -48,21 +55,26 @@ fi
 
 echo "bench-snapshot: running benchmarks (benchtime $BENCHTIME)..."
 RAW=$(go test -run '^$' \
-	-bench '^(BenchmarkEngineStep|BenchmarkFig1Gauss|BenchmarkFig5MergeSort)$' \
+	-bench '^(BenchmarkEngineStep|BenchmarkFig1Gauss|BenchmarkFig5MergeSort|BenchmarkGaussTelemetry)$' \
 	-benchmem -benchtime "$BENCHTIME" .)
 
 echo "$RAW" | awk -v sha="$SHA" '
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-		ns = ""; allocs = ""
+		ns = ""; allocs = ""; p50 = ""; p99 = ""
 		for (i = 2; i < NF; i++) {
 			if ($(i+1) == "ns/op") ns = $i
 			if ($(i+1) == "allocs/op") allocs = $i
+			if ($(i+1) == "p50-fault-ns") p50 = $i
+			if ($(i+1) == "p99-fault-ns") p99 = $i
 		}
-		if (ns != "")
-			printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"git_sha\": \"%s\"}\n",
-				name, ns, (allocs == "" ? 0 : allocs), sha
+		if (ns != "") {
+			line = sprintf("{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s",
+				name, ns, (allocs == "" ? 0 : allocs))
+			if (p50 != "") line = line sprintf(", \"p50_fault_ns\": %s, \"p99_fault_ns\": %s", p50, p99)
+			printf "%s, \"git_sha\": \"%s\"}\n", line, sha
+		}
 	}
 ' >"$OUT"
 
@@ -90,7 +102,10 @@ if [ -n "$PREV" ]; then
 		}
 		NR == FNR {
 			n = field($0, "name")
-			if (n != "") { pns[n] = field($0, "ns_per_op"); pal[n] = field($0, "allocs_per_op") }
+			if (n != "") {
+				pns[n] = field($0, "ns_per_op"); pal[n] = field($0, "allocs_per_op")
+				pp50[n] = field($0, "p50_fault_ns"); pp99[n] = field($0, "p99_fault_ns")
+			}
 			next
 		}
 		{
@@ -98,18 +113,21 @@ if [ -n "$PREV" ]; then
 			if (n == "") next
 			order[++count] = n
 			ns[n] = field($0, "ns_per_op"); al[n] = field($0, "allocs_per_op")
+			p50[n] = field($0, "p50_fault_ns"); p99[n] = field($0, "p99_fault_ns")
 		}
 		END {
-			printf "%-40s %15s %15s %8s %12s %12s %8s\n",
-				"benchmark", "ns/op(prev)", "ns/op(now)", "d%", "allocs(prev)", "allocs(now)", "d%"
+			printf "%-40s %15s %15s %8s %12s %12s %8s %12s %12s\n",
+				"benchmark", "ns/op(prev)", "ns/op(now)", "d%", "allocs(prev)", "allocs(now)", "d%", "p50-fault", "p99-fault"
 			for (i = 1; i <= count; i++) {
 				n = order[i]
+				f50 = (p50[n] != "") ? p50[n] : "-"
+				f99 = (p99[n] != "") ? p99[n] : "-"
 				if (n in pns) {
 					dns = (pns[n] > 0) ? sprintf("%+.1f", 100 * (ns[n] - pns[n]) / pns[n]) : "n/a"
 					dal = (pal[n] > 0) ? sprintf("%+.1f", 100 * (al[n] - pal[n]) / pal[n]) : (al[n] > 0 ? "new" : "0=0")
-					printf "%-40s %15s %15s %8s %12s %12s %8s\n", n, pns[n], ns[n], dns, pal[n], al[n], dal
+					printf "%-40s %15s %15s %8s %12s %12s %8s %12s %12s\n", n, pns[n], ns[n], dns, pal[n], al[n], dal, f50, f99
 				} else {
-					printf "%-40s %15s %15s %8s %12s %12s %8s\n", n, "-", ns[n], "new", "-", al[n], "new"
+					printf "%-40s %15s %15s %8s %12s %12s %8s %12s %12s\n", n, "-", ns[n], "new", "-", al[n], "new", f50, f99
 				}
 			}
 		}

@@ -71,6 +71,16 @@ if ! go run ./scripts/topocheck TOPOLOGY.md examples/topologies/*.json; then
 	fail=1
 fi
 
+# 7. EXPERIMENTS.md documents every JSON field of the telemetry metrics
+#    schema (the `json:"..."` tags in internal/metrics/telemetry.go),
+#    so the schema-v2 sections cannot grow undocumented fields.
+for tag in $(grep -o 'json:"[a-z0-9_]*' internal/metrics/telemetry.go | cut -d'"' -f2 | sort -u); do
+	if ! grep -q "\`$tag\`" EXPERIMENTS.md; then
+		echo "EXPERIMENTS.md: does not document telemetry JSON field '$tag' (internal/metrics/telemetry.go)"
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
 	echo "check-docs: FAILED"
 	exit 1

@@ -1,0 +1,52 @@
+#!/bin/sh
+# check-obs.sh — distributional-telemetry gate, run by the CI telemetry
+# job.
+#
+#   1. Histogram/series conservation: the telemetry tests at the repo
+#      root run gauss, mergesort, and TopoMix (clustered distance
+#      matrix) with every sink enabled and reconcile charge histograms
+#      against the per-node accounts, op histograms against the
+#      retained spans, and the cause series against the total account —
+#      exactly, not approximately.
+#   2. Telemetry CLI surfaces: platinum-report -hist/-series emit valid
+#      JSON with schema_version 2, and platinum-trace -counters emits a
+#      Chrome trace whose JSON parses.
+#   3. Live monitor smoke: platinum-bench -status serves its JSON and
+#      Prometheus endpoints during a -j 4 sweep (exercised through the
+#      command's own test, which hits the live endpoint mid-run).
+#
+# Run from the repository root: ./scripts/check-obs.sh
+set -eu
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "check-obs: conservation tests (gauss, mergesort, TopoMix; all sinks on)"
+go test -run 'TestTelemetryConservation' .
+
+echo "check-obs: platinum-report -hist -series JSON (gauss 48x48 on 4 procs)"
+go run ./cmd/platinum-report -app gauss -n 48 -procs 4 \
+	-hist -series 1ms -json >"$TMP/report.json"
+go run ./scripts/jsoncheck "$TMP/report.json"
+grep -q '"schema_version": 2' "$TMP/report.json" || {
+	echo "check-obs: report JSON missing schema_version 2" >&2
+	exit 1
+}
+grep -q '"histograms"' "$TMP/report.json" || {
+	echo "check-obs: report JSON missing histograms section" >&2
+	exit 1
+}
+grep -q '"series"' "$TMP/report.json" || {
+	echo "check-obs: report JSON missing series section" >&2
+	exit 1
+}
+
+echo "check-obs: platinum-trace -counters Chrome export"
+go run ./cmd/platinum-trace -app gauss -n 32 -procs 4 \
+	-counters 1ms -o "$TMP/counters.json"
+go run ./scripts/jsoncheck "$TMP/counters.json"
+
+echo "check-obs: platinum-bench -status live-endpoint smoke (-j 4)"
+go test -run 'TestStatusEndpoint' ./cmd/platinum-bench
+
+echo "check-obs: OK"
