@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"platinum/internal/analysis"
 	"platinum/internal/apps"
 	"platinum/internal/core"
 	"platinum/internal/exp"
@@ -379,4 +380,38 @@ func BenchmarkColocateOptions(b *testing.B) {
 	benchExperiment(b, "colocate-options", "rows", func(t *exp.Table) float64 {
 		return float64(len(t.Rows))
 	})
+}
+
+// BenchmarkVetFullTree runs the complete platinum-vet analyzer suite —
+// loading, type-checking, call-graph construction, fact propagation and
+// reporting — over the whole module, exactly as the CI vet gate does.
+// One iteration is one full multi-pass run from a cold loader, so the
+// ns/op is the gate's wall time and a loader or analyzer regression
+// shows up in the bench snapshot diff next to the simulator numbers.
+// The analyzer count is reported as a metric so the snapshot records
+// how much checking that wall time bought.
+func BenchmarkVetFullTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := analysis.NewModuleLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := loader.DiscoverAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.Load(paths...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := analysis.Run(analysis.All(), pkgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed() {
+			b.Fatalf("tree is not vet-clean: %d findings, %d bad ignores",
+				len(res.Findings), len(res.BadIgnores))
+		}
+	}
+	b.ReportMetric(float64(len(analysis.All())), "analyzers")
 }

@@ -16,10 +16,18 @@
 // Flags:
 //
 //	-json          emit the result as JSON (internal/analysis.Result)
+//	-sarif         emit the result as SARIF 2.1.0 (for code scanning)
 //	-list          print the registered analyzers (name and doc) and exit
 //	-srcroot dir   load packages from a GOPATH-style source tree rooted
 //	               at dir instead of the enclosing module (used by the
 //	               fixture tests and the CI negative-fixture check)
+//
+// The suite is fact-aware and multi-pass: the requested packages'
+// local dependency closure is analyzed in import order so that
+// interprocedural analyzers (detwalk, hotescape, atomicsafe) see facts
+// exported by the packages a checked package imports, while findings
+// are reported only for the packages actually named on the command
+// line.
 //
 // Exit status: 0 when the tree is clean, 1 when there are findings or
 // malformed suppression directives, 2 on usage or load errors.
@@ -53,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("platinum-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	srcroot := fs.String("srcroot", "", "load packages from this GOPATH-style source root instead of the module")
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +85,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "platinum-vet: %v\n", err)
 		return 2
 	}
-	res, err := analysis.Run(analyzers, pkgs)
+	// Analyze the full local dependency closure so fact-consuming
+	// analyzers see their imports' exports, but report findings only for
+	// the requested packages.
+	report := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		report[p.Path] = true
+	}
+	res, err := analysis.RunScoped(analyzers, loader.All(), report)
 	if err != nil {
 		fmt.Fprintf(stderr, "platinum-vet: %v\n", err)
 		return 2
@@ -85,14 +101,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res.RelativeTo(wd)
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fmt.Fprintf(stderr, "platinum-vet: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.ToSARIF(res, analyzers)); err != nil {
+			fmt.Fprintf(stderr, "platinum-vet: %v\n", err)
+			return 2
+		}
+	default:
 		printText(stdout, res, len(pkgs))
 	}
 	if res.Failed() {

@@ -34,10 +34,20 @@ import (
 // Analyzer is one static check. Name is the short identifier reported
 // and suppressed as "platinum/<name>"; Doc is a one-line description
 // shown by platinum-vet -list.
+//
+// Requires lists the analyzers whose facts this one consumes (via
+// Pass.FactOf); the scheduler runs them first on every package and
+// auto-includes them in any run that includes this analyzer. Finish,
+// when non-nil, runs once after every package has been analyzed — the
+// hook for whole-program checks that need facts from the entire
+// dependency closure (its Pass carries no Files/Pkg/Info, only the
+// run-wide state: Fset, AllPackages, FactOf, Reportf).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name     string
+	Doc      string
+	Run      func(*Pass) error
+	Requires []*Analyzer
+	Finish   func(*Pass) error
 }
 
 // Pass carries one type-checked, non-test package through one analyzer.
@@ -48,6 +58,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	state *runState
 	diags *[]Diagnostic
 }
 
@@ -166,6 +177,10 @@ func isProtocolPackage(path string) bool {
 }
 
 // All returns the full analyzer suite in stable registration order.
+// The syntactic, single-package analyzers come first; the three
+// interprocedural, fact-driven analyzers (detwalk, hotescape,
+// atomicsafe) close the list. The scheduler reorders per package as
+// Requires demands.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNoDeterminism,
@@ -175,5 +190,8 @@ func All() []*Analyzer {
 		AnalyzerNoProtocolPanic,
 		AnalyzerHotAlloc,
 		AnalyzerHistCause,
+		AnalyzerDetWalk,
+		AnalyzerHotEscape,
+		AnalyzerAtomicSafe,
 	}
 }

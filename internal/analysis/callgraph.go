@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The shared call-graph builder. Interprocedural analyzers (detwalk,
+// hotescape) need the same structure — "which functions does this
+// function call, and from where" — so it is built once per package and
+// cached on the run state.
+//
+// Resolution rules, chosen to keep the graph deterministic and the
+// false-positive rate low rather than to be complete:
+//
+//   - Static calls (plain functions, methods on concrete receivers)
+//     resolve to their *types.Func, including functions in other
+//     analyzed packages and in the standard library.
+//   - Function literals are attributed to the function declaration they
+//     are written in: a closure's calls are its encloser's calls. A
+//     hot-path or simulation function does not launder work through a
+//     closure it declares.
+//   - Interface method calls resolve to every concrete method in the
+//     analyzed packages whose receiver type implements the interface —
+//     but only for interfaces declared in analyzed (local) packages.
+//     Stdlib interfaces (io.Writer, sort.Interface) are left
+//     unresolved: their implementors are legion and the analyzers that
+//     matter here guard internal call chains, not fmt plumbing.
+//   - Calls through function-typed variables and fields are not
+//     resolved (no dataflow); they contribute no edges.
+
+// CallKind distinguishes how a call edge was resolved.
+type CallKind uint8
+
+const (
+	// CallStatic is a direct call to a function or concrete method.
+	CallStatic CallKind = iota
+	// CallInterface is a call through a locally-declared interface,
+	// resolved to one of its concrete implementations.
+	CallInterface
+)
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos // the call site
+	Kind   CallKind
+}
+
+// CallGraph is the per-package call graph: every declared function in
+// source order with its outgoing, source-ordered call edges.
+type CallGraph struct {
+	Funcs []*types.Func
+	Decls map[*types.Func]*ast.FuncDecl
+	Edges map[*types.Func][]CallEdge
+}
+
+// CallGraph returns the call graph of the pass's package, building and
+// caching it on first use.
+func (p *Pass) CallGraph() *CallGraph {
+	pkg := p.state.pkgOf(p.Pkg)
+	if cg, ok := p.state.callgraphs[pkg]; ok {
+		return cg
+	}
+	cg := buildCallGraph(pkg, p.state)
+	p.state.callgraphs[pkg] = cg
+	return cg
+}
+
+// pkgOf maps a *types.Package back to its loaded *Package.
+func (st *runState) pkgOf(tp *types.Package) *Package {
+	for _, p := range st.pkgs {
+		if p.Types == tp {
+			return p
+		}
+	}
+	return nil
+}
+
+// buildCallGraph walks every function declaration of pkg and resolves
+// its call sites.
+func buildCallGraph(pkg *Package, st *runState) *CallGraph {
+	cg := &CallGraph{
+		Decls: map[*types.Func]*ast.FuncDecl{},
+		Edges: map[*types.Func][]CallEdge{},
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Funcs = append(cg.Funcs, fn)
+			cg.Decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, edge := range resolveCall(pkg.Info, st, fn, call) {
+					cg.Edges[fn] = append(cg.Edges[fn], edge)
+				}
+				return true
+			})
+		}
+	}
+	return cg
+}
+
+// resolveCall resolves one call expression to zero or more edges.
+func resolveCall(info *types.Info, st *runState, caller *types.Func, call *ast.CallExpr) []CallEdge {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selInfo, ok := info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			if iface, ok := selInfo.Recv().Underlying().(*types.Interface); ok {
+				return resolveInterfaceCall(st, caller, call, sel, selInfo.Recv(), iface)
+			}
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	return []CallEdge{{Caller: caller, Callee: fn, Pos: call.Pos(), Kind: CallStatic}}
+}
+
+// resolveInterfaceCall returns an edge to every concrete method in the
+// analyzed packages that implements the called interface method, for
+// interfaces declared in analyzed packages only.
+func resolveInterfaceCall(st *runState, caller *types.Func, call *ast.CallExpr, sel *ast.SelectorExpr, recv types.Type, iface *types.Interface) []CallEdge {
+	if !isLocalInterface(st, recv) {
+		return nil
+	}
+	var edges []CallEdge
+	for _, impl := range st.methods[sel.Sel.Name] {
+		rv := fnRecv(impl)
+		if rv == nil {
+			continue
+		}
+		if types.Implements(rv.Type(), iface) {
+			edges = append(edges, CallEdge{Caller: caller, Callee: impl, Pos: call.Pos(), Kind: CallInterface})
+		}
+	}
+	return edges
+}
+
+// isLocalInterface reports whether the (possibly named) interface type
+// t is declared in one of the analyzed packages.
+func isLocalInterface(st *runState, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// An anonymous interface literal is spelled in local source.
+		_, isIface := t.(*types.Interface)
+		return isIface
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false // error, comparable, ...
+	}
+	for _, p := range st.pkgs {
+		if p.Types == pkg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDetWalk is the interprocedural half of the determinism gate.
+// AnalyzerNoDeterminism flags wall-clock reads, unseeded global rand
+// and map-ordered emission written directly in simulation-package
+// code; detwalk chases the same three bug classes through call chains,
+// so a time.Now hidden one helper deep — or three packages deep — is
+// caught at the call site inside the simulation scope, with the full
+// chain in the diagnostic:
+//
+//	call to util.Stamp is transitively nondeterministic:
+//	util.Stamp → util.clock → time.Now (wall clock); ...
+//
+// It consumes the per-function direct-source facts nodeterminism
+// exports for every analyzed package, closes them transitively over
+// the shared call graph (static calls, closures, and calls through
+// locally-declared interfaces), and exports a reachability fact per
+// tainted function so importing packages see through package
+// boundaries.
+//
+// Reporting is frontier-based: a tainted call edge inside a simulation
+// package is reported only where the taint enters the reported
+// simulation scope. Calls from one reported simulation function to
+// another are skipped — the callee's own frontier edge carries the
+// report — so one root cause yields one diagnostic, not one per
+// transitive caller.
+var AnalyzerDetWalk = &Analyzer{
+	Name:     "detwalk",
+	Doc:      "simulation code must not transitively reach wall-clock reads, unseeded rand, or map-ordered emission (full call chain reported)",
+	Run:      runDetWalk,
+	Requires: []*Analyzer{AnalyzerNoDeterminism},
+}
+
+// nondetReachFact marks a function that transitively reaches a
+// nondeterminism source. The chain walks from the function's first
+// offending callee down to the source description itself.
+type nondetReachFact struct {
+	chain []string
+}
+
+func runDetWalk(pass *Pass) error {
+	cg := pass.CallGraph()
+	taint := map[*types.Func]*nondetReachFact{}
+
+	// Seed: functions whose own body contains a source.
+	for _, fn := range cg.Funcs {
+		if f, ok := pass.FactOf(AnalyzerNoDeterminism, fn); ok {
+			df := f.(directNondetFact)
+			taint[fn] = &nondetReachFact{chain: []string{df.sources[0].short}}
+		}
+	}
+	// Close over the call graph. Callees in already-analyzed packages
+	// contribute through their exported facts; same-package callees
+	// (declaration order is no dependency order) need the fixpoint.
+	lookup := func(callee *types.Func) *nondetReachFact {
+		if t, ok := taint[callee]; ok {
+			return t
+		}
+		if f, ok := pass.FactOf(pass.Analyzer, callee); ok {
+			nf := f.(nondetReachFact)
+			return &nf
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.Funcs {
+			if taint[fn] != nil {
+				continue
+			}
+			for _, edge := range cg.Edges[fn] {
+				ct := lookup(edge.Callee)
+				if ct == nil || edge.Callee == fn {
+					continue
+				}
+				chain := append([]string{funcDisplayName(edge.Callee)}, ct.chain...)
+				taint[fn] = &nondetReachFact{chain: chain}
+				changed = true
+				break
+			}
+		}
+	}
+	for _, fn := range cg.Funcs {
+		if t := taint[fn]; t != nil {
+			pass.ExportFact(fn, *t)
+		}
+	}
+
+	if !isSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, fn := range cg.Funcs {
+		for _, edge := range cg.Edges[fn] {
+			ct := lookup(edge.Callee)
+			if ct == nil || edge.Callee == fn {
+				continue
+			}
+			calleePath := pkgPathOf(edge.Callee)
+			if isSimPackage(calleePath) && pass.PackageReported(calleePath) {
+				// The callee is itself reported simulation code: its own
+				// frontier edge (or a direct nodeterminism finding)
+				// carries the diagnostic.
+				continue
+			}
+			chain := append([]string{funcDisplayName(edge.Callee)}, ct.chain...)
+			pass.Reportf(edge.Pos,
+				"call to %s is transitively nondeterministic: %s; simulation code must use virtual time, seeded randomness and sorted emission",
+				funcDisplayName(edge.Callee), strings.Join(chain, " → "))
+		}
+	}
+	return nil
+}

@@ -27,7 +27,11 @@ import (
 //
 // The directive is a declaration, not an inference: marking a function
 // states "this runs per event/reference/charge" and buys compile-time
-// enforcement. Unmarked functions are out of scope.
+// enforcement. Unmarked functions produce no findings here — but the
+// analyzer is also the fast literal pre-pass for hotescape: it exports
+// a directAllocFact for every function (marked or not) recording its
+// allocation sites, which hotescape closes transitively so a hot-path
+// function cannot launder an allocation through an unmarked helper.
 var AnalyzerHotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "functions marked //platinum:hotpath must not allocate (new, append growth, escaping composite literals)",
@@ -51,24 +55,65 @@ func isHotPath(fd *ast.FuncDecl) bool {
 	return false
 }
 
+// allocSite is one allocating construct in a function body.
+type allocSite struct {
+	pos   token.Pos
+	msg   string // diagnostic when the function is hot-path-marked
+	short string // chain label for hotescape, e.g. "append"
+}
+
+// directAllocFact is the per-function fact consumed by hotescape:
+// whether the function is declared hot-path, and the allocation sites
+// written directly in it. Sites a //lint:ignore has adjudicated as
+// warm-up-safe inside a hot-path function are excluded — hotalloc
+// reports them (visibly, as suppressed findings) and callers must not
+// inherit a taint the suppression already justified.
+type directAllocFact struct {
+	hotpath bool
+	sites   []allocSite
+}
+
 func runHotAlloc(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotPath(fd) {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			checkHotAlloc(pass, fd)
+			hot := isHotPath(fd)
+			sites := collectAllocs(pass, fd)
+			if hot {
+				for _, s := range sites {
+					pass.Reportf(s.pos, "%s", s.msg)
+				}
+				// Suppressed warm-up sites stay out of the exported
+				// fact; unsuppressed ones were just reported and taint
+				// callers like any other allocation.
+				kept := sites[:0]
+				for _, s := range sites {
+					if !pass.IsSuppressed(s.pos, "hotalloc") && !pass.IsSuppressed(s.pos, "hotescape") {
+						kept = append(kept, s)
+					}
+				}
+				sites = kept
+			}
+			if hot || len(sites) > 0 {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportFact(fn, directAllocFact{hotpath: hot, sites: sites})
+				}
+			}
 		}
 	}
 	return nil
 }
 
-// checkHotAlloc walks one hot-path function body. Composite literals
-// under a & are reported once, at the &, so the walk tracks which
-// literals were already covered by their address-of parent.
-func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
+// collectAllocs walks one function body for allocating constructs.
+// Composite literals under a & are recorded once, at the &, so the walk
+// tracks which literals were already covered by their address-of
+// parent.
+func collectAllocs(pass *Pass, fd *ast.FuncDecl) []allocSite {
 	name := fd.Name.Name
+	var sites []allocSite
 	addressed := make(map[*ast.CompositeLit]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -83,11 +128,17 @@ func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
 			}
 			switch b.Name() {
 			case "new":
-				pass.Reportf(n.Pos(),
-					"new(...) allocates on the hot path (%s is marked %s)", name, hotPathDirective)
+				sites = append(sites, allocSite{
+					pos:   n.Pos(),
+					msg:   "new(...) allocates on the hot path (" + name + " is marked " + hotPathDirective + ")",
+					short: "new(...)",
+				})
 			case "append":
-				pass.Reportf(n.Pos(),
-					"append may grow its backing array on the hot path (%s is marked %s)", name, hotPathDirective)
+				sites = append(sites, allocSite{
+					pos:   n.Pos(),
+					msg:   "append may grow its backing array on the hot path (" + name + " is marked " + hotPathDirective + ")",
+					short: "append (backing-array growth)",
+				})
 			}
 		case *ast.UnaryExpr:
 			if n.Op != token.AND {
@@ -95,8 +146,11 @@ func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
 			}
 			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
 				addressed[lit] = true
-				pass.Reportf(n.Pos(),
-					"&composite literal escapes to the heap on the hot path (%s is marked %s)", name, hotPathDirective)
+				sites = append(sites, allocSite{
+					pos:   n.Pos(),
+					msg:   "&composite literal escapes to the heap on the hot path (" + name + " is marked " + hotPathDirective + ")",
+					short: "&composite literal",
+				})
 			}
 		case *ast.CompositeLit:
 			if addressed[n] {
@@ -104,13 +158,17 @@ func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
 			}
 			switch pass.TypeOf(n).Underlying().(type) {
 			case *types.Slice, *types.Map:
-				pass.Reportf(n.Pos(),
-					"%s literal allocates its backing store on the hot path (%s is marked %s)",
-					describeLitKind(pass.TypeOf(n)), name, hotPathDirective)
+				kind := describeLitKind(pass.TypeOf(n))
+				sites = append(sites, allocSite{
+					pos:   n.Pos(),
+					msg:   kind + " literal allocates its backing store on the hot path (" + name + " is marked " + hotPathDirective + ")",
+					short: kind + " literal",
+				})
 			}
 		}
 		return true
 	})
+	return sites
 }
 
 // describeLitKind names the allocating literal kind for messages.

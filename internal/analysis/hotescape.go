@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotEscape is the interprocedural half of the hot-path
+// allocation gate. AnalyzerHotAlloc flags allocating constructs
+// written directly in a //platinum:hotpath function; hotescape closes
+// the same property over the call graph, so a hot-path function cannot
+// launder an allocation through an unmarked helper — in this package
+// or any package it imports:
+//
+//	call to pool.Grow may allocate:
+//	pool.Grow → append (backing-array growth); Step is marked //platinum:hotpath
+//
+// It consumes hotalloc's per-function directAllocFact (the fast
+// literal pre-pass, which runs on every function, marked or not),
+// computes transitive may-allocate facts over the shared call graph,
+// and reports every call from a hot-path function to a may-allocate
+// callee. Calls to functions that are themselves hot-path-marked are
+// skipped — those are adjudicated at their own declaration by hotalloc
+// and by hotescape's pass over their own call edges — and warm-up
+// sites suppressed with //lint:ignore do not taint callers, so the
+// pool/free-list pattern keeps working with its justification intact.
+var AnalyzerHotEscape = &Analyzer{
+	Name:     "hotescape",
+	Doc:      "functions marked //platinum:hotpath must not transitively call allocating functions (call chain reported)",
+	Run:      runHotEscape,
+	Requires: []*Analyzer{AnalyzerHotAlloc},
+}
+
+// allocReachFact marks a function that may allocate, directly or
+// through its callees. The chain walks from the function's own
+// allocation (or first allocating callee) down to the construct.
+type allocReachFact struct {
+	chain []string
+}
+
+func runHotEscape(pass *Pass) error {
+	cg := pass.CallGraph()
+	taint := map[*types.Func]*allocReachFact{}
+
+	hotpath := func(fn *types.Func) bool {
+		if f, ok := pass.FactOf(AnalyzerHotAlloc, fn); ok {
+			return f.(directAllocFact).hotpath
+		}
+		return false
+	}
+
+	// Seed from hotalloc's literal pre-pass: every function with an
+	// unsuppressed allocating construct of its own.
+	for _, fn := range cg.Funcs {
+		if f, ok := pass.FactOf(AnalyzerHotAlloc, fn); ok {
+			df := f.(directAllocFact)
+			if len(df.sites) > 0 {
+				taint[fn] = &allocReachFact{chain: []string{df.sites[0].short}}
+			}
+		}
+	}
+	lookup := func(callee *types.Func) *allocReachFact {
+		if t, ok := taint[callee]; ok {
+			return t
+		}
+		if f, ok := pass.FactOf(pass.Analyzer, callee); ok {
+			af := f.(allocReachFact)
+			return &af
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.Funcs {
+			if taint[fn] != nil {
+				continue
+			}
+			for _, edge := range cg.Edges[fn] {
+				ct := lookup(edge.Callee)
+				if ct == nil || edge.Callee == fn {
+					continue
+				}
+				chain := append([]string{funcDisplayName(edge.Callee)}, ct.chain...)
+				taint[fn] = &allocReachFact{chain: chain}
+				changed = true
+				break
+			}
+		}
+	}
+	for _, fn := range cg.Funcs {
+		if t := taint[fn]; t != nil {
+			pass.ExportFact(fn, *t)
+		}
+	}
+
+	for _, fn := range cg.Funcs {
+		if !hotpath(fn) {
+			continue
+		}
+		for _, edge := range cg.Edges[fn] {
+			ct := lookup(edge.Callee)
+			if ct == nil || edge.Callee == fn {
+				continue
+			}
+			if hotpath(edge.Callee) && pass.PackageReported(pkgPathOf(edge.Callee)) {
+				// The callee carries its own //platinum:hotpath marker:
+				// hotalloc and this analyzer hold it to the contract at
+				// its own declaration.
+				continue
+			}
+			chain := append([]string{funcDisplayName(edge.Callee)}, ct.chain...)
+			pass.Reportf(edge.Pos,
+				"call to %s may allocate: %s (%s is marked %s)",
+				funcDisplayName(edge.Callee), strings.Join(chain, " → "), fn.Name(), hotPathDirective)
+		}
+	}
+	return nil
+}

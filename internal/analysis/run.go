@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -48,13 +49,43 @@ type ignoreDirective struct {
 }
 
 // Run executes every analyzer over every package, applies suppression
-// directives, and returns position-sorted findings. Diagnostics are
-// produced deterministically: packages and analyzers run in the given
-// order and findings are sorted by file, line, column, analyzer.
+// directives, and returns position-sorted findings. All given packages
+// are both analyzed and reported; use RunScoped to analyze a larger
+// dependency closure while reporting a subset.
 func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
+	return RunScoped(analyzers, pkgs, nil)
+}
+
+// RunScoped is the fact-aware scheduler. It analyzes every package in
+// pkgs — which should be the full local dependency closure of the
+// packages of interest, so cross-package facts exist before they are
+// consumed — but reports findings, suppressions and stale directives
+// only for packages whose import path is in report (nil = all).
+//
+// Scheduling is deterministic: packages run in import-dependency order
+// (dependencies first, registration order breaking ties), analyzers run
+// per package in Requires order (producers before consumers, given
+// order breaking ties), analyzers listed in Requires but missing from
+// the given set are auto-included, and Finish hooks run once at the end
+// in analyzer order. Findings are sorted by file, line, column,
+// analyzer.
+func RunScoped(analyzers []*Analyzer, pkgs []*Package, report map[string]bool) (*Result, error) {
+	analyzers, err := scheduleAnalyzers(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	pkgs = sortPackagesByDeps(pkgs)
+
 	var diags []Diagnostic
-	var directives []*ignoreDirective
+	st := newRunState(pkgs, report, &diags)
+	// Scan every package's suppression directives up front:
+	// fact-producing passes consult them (Pass.IsSuppressed) even in
+	// packages outside the report scope.
 	for _, pkg := range pkgs {
+		st.directives = append(st.directives, scanIgnores(pkg.Fset, pkg.Files)...)
+	}
+	for _, pkg := range pkgs {
+		st.indexMethods(pkg)
 		for _, an := range analyzers {
 			pass := &Pass{
 				Analyzer: an,
@@ -62,18 +93,33 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				state:    st,
 				diags:    &diags,
 			}
 			if err := an.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", an.Name, pkg.Path, err)
 			}
 		}
-		directives = append(directives, scanIgnores(pkg.Fset, pkg.Files)...)
+	}
+	for _, an := range analyzers {
+		if an.Finish == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: an, Fset: st.fset, state: st, diags: &diags}
+		if err := an.Finish(pass); err != nil {
+			return nil, fmt.Errorf("%s (finish): %w", an.Name, err)
+		}
 	}
 
+	inScope := func(file string) bool {
+		if report == nil {
+			return true
+		}
+		return report[st.fileOf[file]]
+	}
 	res := &Result{}
-	for _, dir := range directives {
-		if dir.malformed != "" {
+	for _, dir := range st.directives {
+		if dir.malformed != "" && inScope(dir.file) {
 			res.BadIgnores = append(res.BadIgnores, Finding{
 				Analyzer: "lint",
 				File:     dir.pos.Filename,
@@ -84,7 +130,10 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 		}
 	}
 	for _, d := range diags {
-		pos := position(pkgs, d.Pos)
+		pos := st.fset.Position(d.Pos)
+		if !inScope(pos.Filename) {
+			continue
+		}
 		f := Finding{
 			Analyzer: d.Analyzer,
 			File:     pos.Filename,
@@ -92,7 +141,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 			Col:      pos.Column,
 			Message:  d.Message,
 		}
-		if dir := matchIgnore(directives, f); dir != nil {
+		if dir := matchIgnore(st.directives, f); dir != nil {
 			dir.used = true
 			f.Suppressed = true
 			f.Reason = dir.reason
@@ -101,21 +150,114 @@ func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
 		}
 		res.Findings = append(res.Findings, f)
 	}
+	res.BadIgnores = append(res.BadIgnores, staleDirectives(st.directives, analyzers, inScope)...)
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
 	sortFindings(res.BadIgnores)
 	return res, nil
 }
 
-// position resolves a token.Pos against the (shared) fset of the
-// package set.
-func position(pkgs []*Package, pos token.Pos) token.Position {
-	for _, p := range pkgs {
-		if p.Fset != nil {
-			return p.Fset.Position(pos)
+// staleDirectives flags well-formed //lint:ignore directives that
+// suppressed nothing. A suppression is a claim about a finding on its
+// line; once the finding is gone the directive is dead weight that
+// silently licenses a future regression, so it fails the run like a
+// malformed one. A directive is only judged when every analyzer it
+// names actually ran (a chargecause-only fixture run must not declare
+// a hotalloc directive stale) and when its package is in the report
+// scope.
+func staleDirectives(dirs []*ignoreDirective, ran []*Analyzer, inScope func(string) bool) []Finding {
+	byName := map[string]bool{}
+	for _, an := range ran {
+		byName[an.Name] = true
+	}
+	var out []Finding
+	for _, d := range dirs {
+		if d.malformed != "" || d.used || !inScope(d.file) {
+			continue
+		}
+		all := true
+		for _, name := range d.analyzers {
+			if !byName[name] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "lint",
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+			Message: fmt.Sprintf("stale //lint:ignore platinum/%s: it suppresses no finding — remove it (reason was: %s)",
+				strings.Join(d.analyzers, ",platinum/"), d.reason),
+		})
+	}
+	return out
+}
+
+// scheduleAnalyzers expands the given analyzers with the closure of
+// their Requires and orders them so every producer runs before its
+// consumers, preserving the given order among independent analyzers. A
+// Requires cycle is an error.
+func scheduleAnalyzers(given []*Analyzer) ([]*Analyzer, error) {
+	var out []*Analyzer
+	state := map[*Analyzer]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(an *Analyzer) error
+	visit = func(an *Analyzer) error {
+		switch state[an] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", an.Name)
+		case 2:
+			return nil
+		}
+		state[an] = 1
+		for _, req := range an.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[an] = 2
+		out = append(out, an)
+		return nil
+	}
+	for _, an := range given {
+		if err := visit(an); err != nil {
+			return nil, err
 		}
 	}
-	return token.Position{}
+	return out, nil
+}
+
+// sortPackagesByDeps orders pkgs so every package follows the packages
+// it imports (among those given), preserving the given order among
+// unrelated packages.
+func sortPackagesByDeps(pkgs []*Package) []*Package {
+	byTypes := map[*types.Package]*Package{}
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	var out []*Package
+	state := map[*Package]int{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // visiting (impossible cycle in Go imports) or done
+		}
+		state[p] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // scanIgnores extracts //lint:ignore directives from the files'

@@ -1,0 +1,137 @@
+package analysis
+
+// SARIF 2.1.0 export, so CI can annotate PR diffs with platinum-vet
+// findings (GitHub code scanning ingests SARIF natively). The schema is
+// reduced to the subset the findings carry: one run, one rule per
+// analyzer, one result per finding with a physical location. Suppressed
+// findings are included as suppressed results — SARIF has first-class
+// representation for in-source suppressions, and keeping them visible
+// in the upload mirrors the "visible, never silent" suppression
+// contract of the text and JSON reports.
+
+// SARIFLog is the top-level SARIF 2.1.0 document.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one analysis run: the tool description plus its results.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool identifies the driver and its rules.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver names the tool and declares one rule per analyzer.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer, by its suppressible name.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      SARIFMessage       `json:"message"`
+	Locations    []SARIFLocation    `json:"locations"`
+	Suppressions []SARIFSuppression `json:"suppressions,omitempty"`
+}
+
+// SARIFMessage is SARIF's wrapped text.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFLocation is a physical source location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is artifact + region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation is the file, as a repo-relative URI.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is the 1-based position of the finding.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFSuppression records an accepted in-source suppression.
+type SARIFSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// ToSARIF converts a Result into a SARIF 2.1.0 log for the given
+// analyzer suite. Call Result.RelativeTo first so artifact URIs are
+// repo-relative, as code-scanning uploads require. Active findings and
+// malformed/stale directives are level "error"; suppressed findings
+// are carried with their in-source justification.
+func ToSARIF(res *Result, analyzers []*Analyzer) *SARIFLog {
+	driver := SARIFDriver{
+		Name: "platinum-vet",
+		Rules: []SARIFRule{{
+			ID:               "platinum/lint",
+			ShortDescription: SARIFMessage{Text: "malformed or stale //lint:ignore suppression directives"},
+		}},
+	}
+	for _, an := range analyzers {
+		driver.Rules = append(driver.Rules, SARIFRule{
+			ID:               "platinum/" + an.Name,
+			ShortDescription: SARIFMessage{Text: an.Doc},
+		})
+	}
+	var results []SARIFResult
+	add := func(f Finding, suppressions []SARIFSuppression) {
+		ruleID := "platinum/" + f.Analyzer
+		if f.Analyzer == "lint" {
+			ruleID = "platinum/lint"
+		}
+		results = append(results, SARIFResult{
+			RuleID:  ruleID,
+			Level:   "error",
+			Message: SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: f.File},
+					Region:           SARIFRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+			Suppressions: suppressions,
+		})
+	}
+	for _, f := range res.BadIgnores {
+		add(f, nil)
+	}
+	for _, f := range res.Findings {
+		add(f, nil)
+	}
+	for _, f := range res.Suppressed {
+		add(f, []SARIFSuppression{{Kind: "inSource", Justification: f.Reason}})
+	}
+	return &SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []SARIFRun{{Tool: SARIFTool{Driver: driver}, Results: results}},
+	}
+}

@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"platinum/internal/analysis"
+	"platinum/internal/analysis/analysistest"
+)
+
+// TestToSARIF converts the suppress fixture's result and checks the
+// SARIF shape: one rule per analyzer plus the lint rule, error-level
+// results for findings and malformed directives, and suppressed
+// findings carried with their in-source justification.
+func TestToSARIF(t *testing.T) {
+	res := analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerChargeCause}, "suppress")
+	log := analysis.ToSARIF(res, []*analysis.Analyzer{analysis.AnalyzerChargeCause})
+
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = version %q, %d runs; want 2.1.0 and one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got := run.Tool.Driver.Name; got != "platinum-vet" {
+		t.Errorf("driver name = %q, want platinum-vet", got)
+	}
+	if got := len(run.Tool.Driver.Rules); got != 2 {
+		t.Fatalf("rules = %d, want 2 (platinum/lint + the analyzer)", got)
+	}
+	if got := run.Tool.Driver.Rules[1].ID; got != "platinum/chargecause" {
+		t.Errorf("analyzer rule ID = %q, want platinum/chargecause", got)
+	}
+
+	wantResults := len(res.BadIgnores) + len(res.Findings) + len(res.Suppressed)
+	if got := len(run.Results); got != wantResults {
+		t.Fatalf("results = %d, want %d", got, wantResults)
+	}
+	var suppressed int
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %q lacks a physical location", r.Message.Text)
+		}
+		for _, s := range r.Suppressions {
+			suppressed++
+			if s.Kind != "inSource" || s.Justification == "" {
+				t.Errorf("suppression = %+v, want inSource with a justification", s)
+			}
+		}
+	}
+	if suppressed != len(res.Suppressed) {
+		t.Errorf("suppressed results = %d, want %d", suppressed, len(res.Suppressed))
+	}
+
+	// The log must round-trip through encoding/json, since that is how
+	// platinum-vet -sarif emits it.
+	if _, err := json.Marshal(log); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

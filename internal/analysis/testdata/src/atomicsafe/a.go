@@ -1,0 +1,36 @@
+// Package atomicsafe exercises the mixed atomic/plain access analyzer
+// across two files: the atomic access sites live here, the plain ones
+// in b.go, so the check only works through the whole-program fact pass.
+package atomicsafe
+
+import "sync/atomic"
+
+// Counter mixes an atomically-maintained field (n) with a plain one
+// (hits) that is never touched atomically.
+type Counter struct {
+	n    int64
+	hits int64
+}
+
+// Inc is the atomic access that puts field n under the analyzer's
+// everywhere-atomic contract.
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Bump touches only hits, which has no atomic access anywhere; plain
+// access is fine.
+func (c *Counter) Bump() { c.hits++ }
+
+// total is a package-level variable accessed atomically here and
+// plainly in b.go.
+var total int64
+
+// AddTotal is total's atomic access site.
+func AddTotal() { atomic.AddInt64(&total, 1) }
+
+// New builds a Counter before it is shared; the plain initialization
+// is adjudicated with a suppression rather than silently allowed.
+func New() *Counter {
+	c := &Counter{}
+	c.n = 1 //lint:ignore platinum/atomicsafe plain write before the counter is published to any other goroutine
+	return c
+}

@@ -1,0 +1,15 @@
+package atomicsafe
+
+// Read is a plain load of a field that a.go accesses atomically: the
+// race the analyzer exists to reject.
+func (c *Counter) Read() int64 {
+	return c.n // want `field n is accessed plainly here but atomically at a\.go:\d+`
+}
+
+// Reset is a plain store of the package-level total.
+func Reset() {
+	total = 0 // want `variable total is accessed plainly here but atomically at a\.go:\d+`
+}
+
+// Hits reads the never-atomic field; no finding.
+func (c *Counter) Hits() int64 { return c.hits }

@@ -1,0 +1,39 @@
+// Package sim (import path suffix internal/sim) is the detwalk fixture:
+// every nondeterminism source here is laundered through the util helper
+// package, so the direct-source analyzer stays silent and only the
+// transitive walk can catch them.
+package sim
+
+import "detwalkfix/util"
+
+// Step reaches time.Now through a three-deep chain:
+// Step → util.Stamp → util.clock → time.Now.
+func Step() int64 {
+	return util.Stamp() // want `call to util\.Stamp is transitively nondeterministic: util\.Stamp → util\.clock → time\.Now \(wall clock\)`
+}
+
+// Seeder is a locally-declared interface, so the call graph resolves
+// calls through it to every analyzed implementation.
+type Seeder interface {
+	Seed() int64
+}
+
+// Reseed calls through the interface; util.WallSeeder is the only
+// implementation in the analyzed packages and it reads the wall clock.
+func Reseed(s Seeder) int64 {
+	return s.Seed() // want `call to util\.WallSeeder\.Seed is transitively nondeterministic: util\.WallSeeder\.Seed → time\.Now \(wall clock\)`
+}
+
+// Sample hides the tainted call inside a closure; the closure's calls
+// are attributed to Sample, its enclosing declaration.
+func Sample() int {
+	pick := func() int {
+		return util.Jitter() // want `call to util\.Jitter is transitively nondeterministic: util\.Jitter → rand\.Intn \(unseeded global source\)`
+	}
+	return pick()
+}
+
+// Double is deterministic end to end and must not be flagged.
+func Double(x int64) int64 {
+	return util.Pure(x)
+}

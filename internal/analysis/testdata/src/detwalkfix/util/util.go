@@ -1,0 +1,29 @@
+// Package util is a non-simulation helper package: nodeterminism does
+// not report here, but it exports direct-source facts that detwalk
+// closes over, so the sim fixture package importing it sees the full
+// call chain at its own frontier.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clock reads the wall clock — the root cause two hops down the chain.
+func clock() int64 { return time.Now().UnixNano() }
+
+// Stamp launders the wall-clock read through one more call.
+func Stamp() int64 { return clock() }
+
+// Jitter draws from the unseeded global rand source.
+func Jitter() int { return rand.Intn(10) }
+
+// WallSeeder implements the sim fixture's Seeder interface with a
+// wall-clock read, exercising interface-call resolution.
+type WallSeeder struct{}
+
+// Seed reads the wall clock.
+func (WallSeeder) Seed() int64 { return time.Now().UnixNano() }
+
+// Pure is deterministic; calls to it must not be flagged.
+func Pure(x int64) int64 { return x * 2 }

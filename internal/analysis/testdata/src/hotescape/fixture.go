@@ -1,0 +1,24 @@
+// Package hotescape exercises the transitive hot-path allocation gate:
+// functions marked //platinum:hotpath contain no allocating construct
+// themselves (hotalloc stays silent) but call helpers that do.
+package hotescape
+
+import "hotescape/helper"
+
+// local allocates but is unmarked; hotalloc does not report it.
+func local() *int { return new(int) }
+
+//platinum:hotpath
+func Tick() {
+	_ = local() // want `call to hotescape\.local may allocate: hotescape\.local → new\(\.\.\.\) \(Tick is marked //platinum:hotpath\)`
+}
+
+//platinum:hotpath
+func Step(s []int) []int {
+	return helper.Indirect(s) // want `call to helper\.Indirect may allocate: helper\.Indirect → helper\.Grow → append \(backing-array growth\) \(Step is marked //platinum:hotpath\)`
+}
+
+//platinum:hotpath
+func Reduce(s []int) int {
+	return helper.Sum(s) // allocation-free callee: no finding
+}

@@ -1,0 +1,20 @@
+// Package helper allocates, one and two calls deep. Nothing here is
+// hot-path-marked, so hotalloc stays silent; the point is that the
+// hotescape fixture package cannot launder allocation through these
+// helpers.
+package helper
+
+// Grow allocates directly via append.
+func Grow(s []int) []int { return append(s, 1) }
+
+// Indirect allocates one more call down.
+func Indirect(s []int) []int { return Grow(s) }
+
+// Sum is allocation-free; hot-path calls to it are fine.
+func Sum(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

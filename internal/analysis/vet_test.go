@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"platinum/internal/analysis"
@@ -49,6 +50,62 @@ func TestHotAlloc(t *testing.T) {
 func TestHistCause(t *testing.T) {
 	analysistest.Run(t, fixtures,
 		[]*analysis.Analyzer{analysis.AnalyzerHistCause}, "platinum/internal/span")
+}
+
+// TestDetWalk checks the interprocedural determinism walk: sources
+// laundered through a helper package are reported at the frontier call
+// site inside the simulation fixture with the full chain — through a
+// three-deep static chain, a locally-declared interface, and a closure.
+func TestDetWalk(t *testing.T) {
+	analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerDetWalk}, "detwalkfix/internal/sim")
+}
+
+// TestHotEscape checks the transitive hot-path allocation gate: marked
+// functions with allocation-free bodies are still flagged when a local
+// helper or an imported package allocates on their behalf.
+func TestHotEscape(t *testing.T) {
+	analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerHotEscape}, "hotescape")
+}
+
+// TestAtomicSafe checks the whole-program mixed-access analyzer: the
+// atomic sites sit in one file, the flagged plain accesses in another,
+// a race-build file is skipped, and the adjudicated pre-publication
+// write is suppressed (visibly) rather than reported.
+func TestAtomicSafe(t *testing.T) {
+	res := analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerAtomicSafe}, "atomicsafe")
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the pre-publication init write)", got)
+	}
+}
+
+// TestStaleSuppression proves the stale-directive contract both ways:
+// a well-formed, unused //lint:ignore fails the run when its named
+// analyzer ran, and is left unjudged when it did not (the analyzer
+// might have found something in a fuller run).
+func TestStaleSuppression(t *testing.T) {
+	res := analysistest.Run(t, fixtures, analysis.All(), "stalefix")
+	if got := len(res.BadIgnores); got != 1 {
+		t.Fatalf("stale directives = %d, want 1: %+v", got, res.BadIgnores)
+	}
+	msg := res.BadIgnores[0].Message
+	if !strings.Contains(msg, "stale //lint:ignore platinum/hotalloc") {
+		t.Errorf("stale diagnostic does not name the directive: %q", msg)
+	}
+	if !strings.Contains(msg, "the allocation this once suppressed was removed") {
+		t.Errorf("stale diagnostic does not quote the reason: %q", msg)
+	}
+	if !res.Failed() {
+		t.Errorf("a stale suppression must fail the run")
+	}
+
+	res = analysistest.Run(t, fixtures,
+		[]*analysis.Analyzer{analysis.AnalyzerChargeCause}, "stalefix")
+	if res.Failed() {
+		t.Errorf("directive naming an analyzer that did not run was judged stale: %+v", res.BadIgnores)
+	}
 }
 
 // TestScopeLimits runs the full suite over a package that is neither a
@@ -100,7 +157,11 @@ func TestSuppressionClean(t *testing.T) {
 // TestRegistry pins the suite's registration invariants: stable order,
 // unique non-empty names, and a doc line for platinum-vet -list.
 func TestRegistry(t *testing.T) {
-	want := []string{"nodeterminism", "chargecause", "exhaustiveevent", "spanpair", "noprotocolpanic", "hotalloc", "histcause"}
+	want := []string{
+		"nodeterminism", "chargecause", "exhaustiveevent", "spanpair",
+		"noprotocolpanic", "hotalloc", "histcause",
+		"detwalk", "hotescape", "atomicsafe",
+	}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -111,6 +172,17 @@ func TestRegistry(t *testing.T) {
 		}
 		if an.Doc == "" || an.Run == nil {
 			t.Errorf("analyzer %q is missing its doc or run function", an.Name)
+		}
+		for _, req := range an.Requires {
+			found := false
+			for _, prev := range all[:i] {
+				if prev == req {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("analyzer %q requires %q, which is not registered before it", an.Name, req.Name)
+			}
 		}
 	}
 }

@@ -220,6 +220,8 @@ func (t *Thread) bank(c Cause, d Time) {
 // conventionally before, so a charge interrupted by engine shutdown is
 // still classified. Over-attribution drives the CauseUnattributed
 // balance negative, which the conservation invariant flags.
+//
+//platinum:hotpath
 func (t *Thread) Attribute(c Cause, d Time) { t.attribute(c, d) }
 
 // Charge is Advance(d) with the time attributed to cause c: the single

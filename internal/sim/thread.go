@@ -230,6 +230,8 @@ func (t *Thread) Advance(d Time) {
 }
 
 // AdvanceTo advances the thread's clock to at least instant.
+//
+//platinum:hotpath
 func (t *Thread) AdvanceTo(instant Time) {
 	if instant > t.clock {
 		t.Advance(instant - t.clock)
@@ -239,9 +241,13 @@ func (t *Thread) AdvanceTo(instant Time) {
 }
 
 // Yield lets equal- or lower-clock threads run without consuming time.
+//
+//platinum:hotpath
 func (t *Thread) Yield() { t.Advance(0) }
 
 // Block parks the thread until another thread calls Unblock on it.
+//
+//platinum:hotpath
 func (t *Thread) Block() {
 	t.state = stateBlocked
 	t.yield()
@@ -252,6 +258,8 @@ func (t *Thread) Block() {
 // woke it). The clock jump is attributed to CauseSync — it is time the
 // thread spent blocked. Unblocking a thread that is not blocked is a
 // no-op and reports false.
+//
+//platinum:hotpath
 func (t *Thread) Unblock(wake Time) bool {
 	if t.state != stateBlocked {
 		return false

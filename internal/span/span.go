@@ -290,6 +290,8 @@ func NewRecorder(flightCap int) *Recorder {
 
 // Alloc reserves a span ID before the span completes, so children can
 // be recorded with their Parent link while the parent is still open.
+//
+//platinum:hotpath
 func (r *Recorder) Alloc() ID {
 	r.next++
 	return r.next
@@ -358,24 +360,36 @@ func (r *Recorder) Begin(kind Kind, start sim.Time) *Open {
 }
 
 // Parent links the span under an enclosing span.
+//
+//platinum:hotpath
 func (o *Open) Parent(id ID) *Open { o.sp.Parent = id; return o }
 
 // Proc sets the processor involved.
+//
+//platinum:hotpath
 func (o *Open) Proc(p int) *Open { o.sp.Proc = p; return o }
 
 // Track sets the sim thread id whose virtual time the span occupies.
+//
+//platinum:hotpath
 func (o *Open) Track(id int) *Open { o.sp.Track = id; return o }
 
 // Page sets the coherent page id.
+//
+//platinum:hotpath
 func (o *Open) Page(p int64) *Open { o.sp.Page = p; return o }
 
 // Note sets the free-form cause tag.
+//
+//platinum:hotpath
 func (o *Open) Note(n string) *Open { o.sp.Note = n; return o }
 
 // Notef sets a lazily-rendered note: a format string plus up to two
 // integer arguments, substituted only when the note is read (NoteText)
 // at export time. Hot paths use this instead of Note so a recorded
 // span never pays for string formatting it may never need.
+//
+//platinum:hotpath
 func (o *Open) Notef(format string, a int, rest ...int) *Open {
 	o.sp.NoteFmt, o.sp.NoteArg0, o.sp.NoteN = format, a, 1
 	if len(rest) > 0 {
@@ -387,6 +401,8 @@ func (o *Open) Notef(format string, a int, rest ...int) *Open {
 // Attribute sets the cause and the slice of the span's duration it
 // alone attributes to that cause (the Span.Cause/Span.Self pair that
 // reconciliation sums).
+//
+//platinum:hotpath
 func (o *Open) Attribute(c sim.Cause, self sim.Time) *Open {
 	o.sp.Cause, o.sp.Self = c, self
 	return o

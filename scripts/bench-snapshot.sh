@@ -16,6 +16,11 @@
 # and the delta table prints them as columns, so a perf regression in
 # the fault path is visible in the same diff as one in the simulator.
 #
+# BenchmarkVetFullTree is included too: its ns_per_op is the wall time
+# of one complete platinum-vet run over the module and its "analyzers"
+# field records how many analyzers that run executed, so the snapshot
+# ties the gate's cost to its coverage.
+#
 # Usage (from the repository root):
 #
 #   ./scripts/bench-snapshot.sh [out.json] [prev.json]
@@ -55,24 +60,26 @@ fi
 
 echo "bench-snapshot: running benchmarks (benchtime $BENCHTIME)..."
 RAW=$(go test -run '^$' \
-	-bench '^(BenchmarkEngineStep|BenchmarkFig1Gauss|BenchmarkFig5MergeSort|BenchmarkGaussTelemetry)$' \
+	-bench '^(BenchmarkEngineStep|BenchmarkFig1Gauss|BenchmarkFig5MergeSort|BenchmarkGaussTelemetry|BenchmarkVetFullTree)$' \
 	-benchmem -benchtime "$BENCHTIME" .)
 
 echo "$RAW" | awk -v sha="$SHA" '
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-		ns = ""; allocs = ""; p50 = ""; p99 = ""
+		ns = ""; allocs = ""; p50 = ""; p99 = ""; analyzers = ""
 		for (i = 2; i < NF; i++) {
 			if ($(i+1) == "ns/op") ns = $i
 			if ($(i+1) == "allocs/op") allocs = $i
 			if ($(i+1) == "p50-fault-ns") p50 = $i
 			if ($(i+1) == "p99-fault-ns") p99 = $i
+			if ($(i+1) == "analyzers") analyzers = $i
 		}
 		if (ns != "") {
 			line = sprintf("{\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s",
 				name, ns, (allocs == "" ? 0 : allocs))
 			if (p50 != "") line = line sprintf(", \"p50_fault_ns\": %s, \"p99_fault_ns\": %s", p50, p99)
+			if (analyzers != "") line = line sprintf(", \"analyzers\": %s", analyzers)
 			printf "%s, \"git_sha\": \"%s\"}\n", line, sha
 		}
 	}
